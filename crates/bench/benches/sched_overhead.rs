@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: real (wall-clock) scheduling throughput of
+//! each scheduler on a fixed mid-size instance.
+//!
+//! These complement the simulated-cost numbers of Tables II/III: they
+//! measure how fast *our implementations* make decisions, confirming that
+//! the LevelBased scheduler is lightweight in practice ("requires little
+//! to no overhead", abstract) and that the LogicBlox scan is the
+//! expensive step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incr_sched::{Instance, Scheduler, SchedulerKind};
+use incr_traces::adversarial::lbx_cubic;
+use incr_traces::{generate, preset};
+use std::collections::VecDeque;
+
+/// Drive a scheduler over an instance with an in-memory environment
+/// (8 in-flight slots, FIFO completion) and return executed count.
+fn drive(s: &mut dyn Scheduler, inst: &Instance) -> usize {
+    s.start(&inst.initial_active);
+    let mut in_flight: VecDeque<incr_dag::NodeId> = VecDeque::new();
+    let mut executed = 0;
+    loop {
+        while in_flight.len() < 8 {
+            match s.pop_ready() {
+                Some(t) => in_flight.push_back(t),
+                None => break,
+            }
+        }
+        let Some(t) = in_flight.pop_front() else { break };
+        executed += 1;
+        s.on_completed(t, &inst.fired[t.index()]);
+    }
+    executed
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = preset(5); // 1.7k nodes, ~300 active: fast enough to iterate
+    let (inst, _) = generate(&spec);
+    let mut g = c.benchmark_group("drive_trace5");
+    for kind in [
+        SchedulerKind::LevelBased,
+        SchedulerKind::Lookahead(10),
+        SchedulerKind::LogicBlox,
+        SchedulerKind::SignalPropagation,
+        SchedulerKind::Hybrid,
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut s = kind.build(inst.dag.clone());
+            b.iter(|| {
+                let n = drive(s.as_mut(), &inst);
+                std::hint::black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    let inst = lbx_cubic(300);
+    let mut g = c.benchmark_group("chain_fan_300");
+    g.sample_size(10);
+    for kind in [SchedulerKind::LevelBased, SchedulerKind::LogicBlox] {
+        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut s = kind.build(inst.dag.clone());
+            b.iter(|| {
+                let n = drive(s.as_mut(), &inst);
+                std::hint::black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let spec = preset(3);
+    let (inst, _) = generate(&spec);
+    let mut g = c.benchmark_group("precompute_trace3");
+    g.sample_size(10);
+    g.bench_function("levels (LevelBased)", |b| {
+        b.iter(|| std::hint::black_box(incr_dag::levels::peel_levels(&inst.dag)))
+    });
+    g.bench_function("interval lists (LogicBlox)", |b| {
+        b.iter(|| std::hint::black_box(incr_dag::IntervalList::build(&inst.dag).total_intervals()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_worst_case, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: the hybrid's background-scan interleave (DESIGN.md §6.3).
+//!
+//! Sweeps the background-scan slice on the shallow-wide pathology (trace
+//! #6 at 1/4 scale) and a deep trace (#4):
+//!
+//! * slice 0 (no background scan) — LogicBlox only scans when LevelBased
+//!   stalls: minimum overhead, the "cooperative" extreme;
+//! * slice 1 — the scan races the dispatch rate, reproducing the paper's
+//!   ≈50% overhead reduction (completed tasks shrink the blocker set
+//!   while the scan proceeds);
+//! * large slices — the scan outruns dispatch and pays nearly the full
+//!   LogicBlox price.
+//!
+//! Usage: `cargo run --release -p incr-bench --bin ablation_hybrid`
+
+use incr_bench::{fmt_secs, measure, Table, PAPER_PROCESSORS};
+use incr_sched::SchedulerKind;
+use incr_sim::EventSimConfig;
+use incr_traces::{generate, preset};
+
+fn main() {
+    let cfg = EventSimConfig {
+        processors: PAPER_PROCESSORS,
+        ..Default::default()
+    };
+
+    let spec6 = {
+        let mut s = preset(6);
+        s.name = "#6/4";
+        s.nodes /= 4;
+        s.edges /= 4;
+        s.initial /= 4;
+        s.active /= 4;
+        s.classes[0].count /= 4;
+        s
+    };
+    let (inst6, _) = generate(&spec6);
+    let (inst4, _) = generate(&preset(4));
+
+    for (name, inst) in [("#6 (1/4 scale, shallow-wide)", &inst6), ("#4 (deep)", &inst4)] {
+        println!("hybrid interleave sweep on {name}\n");
+        let lbx = measure(SchedulerKind::LogicBlox, inst, &cfg);
+        println!(
+            "LogicBlox reference: makespan {}, overhead {}",
+            fmt_secs(lbx.result.makespan),
+            fmt_secs(lbx.result.sched_overhead)
+        );
+        let mut t = Table::new(&["variant", "makespan", "overhead", "overhead vs LBX"]);
+        let mut overheads = Vec::new();
+        for kind in [
+            SchedulerKind::Hybrid, // no background scan
+            SchedulerKind::HybridBackground(1),
+            SchedulerKind::HybridBackground(8),
+            SchedulerKind::HybridBackground(64),
+        ] {
+            let m = measure(kind, inst, &cfg);
+            overheads.push(m.result.sched_overhead);
+            t.row(vec![
+                m.label.clone(),
+                fmt_secs(m.result.makespan),
+                fmt_secs(m.result.sched_overhead),
+                format!(
+                    "{:.1}%",
+                    m.result.sched_overhead / lbx.result.sched_overhead.max(1e-12) * 100.0
+                ),
+            ]);
+        }
+        println!("{}", t.render());
+        assert!(
+            overheads.windows(2).all(|w| w[0] <= w[1] * 1.05),
+            "overhead should grow (weakly) with the background slice on {name}"
+        );
+    }
+    println!("slice 0 minimizes overhead; slice 1 reproduces the paper's parallel deployment.");
+}

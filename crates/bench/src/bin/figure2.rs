@@ -1,0 +1,106 @@
+//! Regenerate **Figure 2 / Theorem 9**: the tight example on which
+//! LevelBased is `Θ(ML)` while the optimal schedule is `Θ(M + L)`.
+//!
+//! The instance: unit tasks `j_1 … j_L` in a chain; each `j_{i-1}` also
+//! releases a sequential task `k_i` with work = span = `L - i + 1`. A
+//! scheduler with exact readiness starts each `k_i` the moment its parent
+//! finishes and overlaps them all (makespan `Θ(L + M)`, `M = L - 1`),
+//! while LevelBased refuses to advance past level `i` until `k_i`
+//! completes (makespan `Θ(L²)`). LBL(k) repairs the barrier.
+//!
+//! The binary sweeps `L`, prints the measured makespans and the fitted
+//! growth, and checks the bounds of Lemma 7 on the same instances.
+//!
+//! Usage: `cargo run --release -p incr-bench --bin figure2 [max_L]`
+
+use incr_bench::Table;
+use incr_sched::SchedulerKind;
+use incr_sim::{simulate_step, StepSimConfig};
+use incr_traces::adversarial::figure2;
+
+fn main() {
+    let max_l: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(160);
+    let ls: Vec<u32> = [10u32, 20, 40, 80, max_l]
+        .into_iter()
+        .filter(|&l| l >= 10)
+        .collect();
+
+    println!("Figure 2 / Theorem 9: tight example sweep (unit-step simulator)\n");
+    let mut t = Table::new(&[
+        "L",
+        "P",
+        "LevelBased",
+        "LBL(5)",
+        "ExactGreedy",
+        "LB/Exact",
+        "Θ(L²) pred",
+        "Θ(L) pred",
+    ]);
+    let mut ratios = Vec::new();
+    for &l in &ls {
+        let inst = figure2(l);
+        // The construction assumes M <= P (Theorem 9): every k_i can have
+        // its own processor under the optimal schedule.
+        let p = l as usize;
+        let cfg = StepSimConfig {
+            processors: p,
+            audit: l <= 40,
+        };
+        let run = |kind: SchedulerKind| {
+            let mut s = kind.build(inst.dag.clone());
+            simulate_step(s.as_mut(), &inst, &cfg).makespan
+        };
+        let lb = run(SchedulerKind::LevelBased);
+        let lbl = run(SchedulerKind::Lookahead(5));
+        let exact = run(SchedulerKind::ExactGreedy);
+        let ratio = lb as f64 / exact as f64;
+        ratios.push((l, ratio));
+        t.row(vec![
+            l.to_string(),
+            p.to_string(),
+            lb.to_string(),
+            lbl.to_string(),
+            exact.to_string(),
+            format!("{ratio:.2}"),
+            // Analytic forms: LB executes levels serially: sum_{i=2..L}
+            // (L-i+1) + L = L(L-1)/2 + L; exact = 2L - 1ish.
+            (l as u64 * (l as u64 - 1) / 2 + l as u64).to_string(),
+            (2 * l as u64).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The LB/Exact ratio must grow ~linearly in L (Theorem 9).
+    let (l0, r0) = ratios[0];
+    let (l1, r1) = *ratios.last().unwrap();
+    let growth = (r1 / r0) / (l1 as f64 / l0 as f64);
+    println!(
+        "ratio growth vs linear-in-L: {:.2} (1.0 = exactly linear; Theorem 9 predicts Θ(L))",
+        growth
+    );
+    assert!(
+        r1 > 4.0 * r0,
+        "LevelBased/optimal ratio must grow with L (Theorem 9)"
+    );
+
+    // Lemma 7 sanity on the same instances: makespan <= w/P + sum_i S_i.
+    println!("\nLemma 7 bound check (LevelBased <= w/P + sum of level spans):");
+    for &l in &ls {
+        let inst = figure2(l);
+        let p = l as usize;
+        let cfg = StepSimConfig {
+            processors: p,
+            audit: false,
+        };
+        let mut s = SchedulerKind::LevelBased.build(inst.dag.clone());
+        let m = simulate_step(s.as_mut(), &inst, &cfg).makespan;
+        let w = inst.active_work_units();
+        let sum_spans: u64 = inst.level_spans().iter().sum();
+        let bound = w.div_ceil(p as u64) + sum_spans;
+        println!("  L={l:>4}: makespan {m:>7}  bound {bound:>7}  ok={}", m <= bound);
+        assert!(m <= bound, "Lemma 7 violated at L={l}");
+    }
+}

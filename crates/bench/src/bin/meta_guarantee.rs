@@ -1,0 +1,104 @@
+//! Check **Theorem 10 / Corollary 11**: the meta-scheduler `A'` achieves
+//! makespan ≤ `2·min(T_A, T_B)` within its memory budget, and falls back
+//! to LevelBased when `A` blows the budget.
+//!
+//! Runs the meta combinator over instances adversarial for each side:
+//! the Figure 2 example (bad for LevelBased) and the chain-fan (bad for
+//! LogicBlox), plus random layered traces.
+//!
+//! Usage: `cargo run --release -p incr-bench --bin meta_guarantee`
+
+use incr_bench::{fmt_secs, Table, PAPER_PROCESSORS};
+use incr_sched::{CostPrices, LevelBased, LogicBlox};
+use incr_sim::{simulate_event, simulate_meta, EventSimConfig, MetaConfig};
+use incr_traces::adversarial::{figure2, lbx_cubic};
+use incr_traces::{generate, preset};
+
+fn main() {
+    let base = EventSimConfig {
+        processors: PAPER_PROCESSORS,
+        prices: CostPrices::default(),
+        audit: false,
+        space_budget: None,
+    };
+
+    println!("Theorem 10: meta-scheduler A' = (LogicBlox | LevelBased) on P/2 + P/2\n");
+    let mut t = Table::new(&[
+        "instance",
+        "T_A (LBX, P)",
+        "T_B (LB, P)",
+        "A' makespan",
+        "bound 2*min",
+        "winner",
+        "ok",
+    ]);
+
+    let mut check = |name: &str, inst: &incr_sched::Instance| {
+        let ta = {
+            let mut a = LogicBlox::new(inst.dag.clone());
+            simulate_event(&mut a, inst, &base).makespan
+        };
+        let tb = {
+            let mut b = LevelBased::new(inst.dag.clone());
+            simulate_event(&mut b, inst, &base).makespan
+        };
+        let mut a = LogicBlox::new(inst.dag.clone());
+        let mut b = LevelBased::new(inst.dag.clone());
+        let r = simulate_meta(
+            &mut a,
+            &mut b,
+            inst,
+            &MetaConfig {
+                processors: PAPER_PROCESSORS,
+                budget: usize::MAX / 4,
+                base: base.clone(),
+            },
+        );
+        let bound = 2.0 * ta.min(tb) + 1e-9;
+        let ok = r.makespan <= bound;
+        t.row(vec![
+            name.to_string(),
+            fmt_secs(ta),
+            fmt_secs(tb),
+            fmt_secs(r.makespan),
+            fmt_secs(bound),
+            r.winner.to_string(),
+            ok.to_string(),
+        ]);
+        assert!(ok, "Theorem 10 bound violated on {name}");
+    };
+
+    check("figure2(64)", &figure2(64));
+    check("lbx_cubic(2000)", &lbx_cubic(2_000));
+    let (t5, _) = generate(&preset(5));
+    check("trace #5", &t5);
+    let (t3, _) = generate(&preset(3));
+    check("trace #3", &t3);
+    println!("{}", t.render());
+
+    // Corollary 11: budget violation falls back to LevelBased. The
+    // LogicBlox run-state on lbx_cubic holds ~n blockers; a budget below
+    // that aborts it.
+    println!("Corollary 11: memory-budget fallback\n");
+    let inst = lbx_cubic(2_000);
+    let mut a = LogicBlox::new(inst.dag.clone());
+    let mut b = LevelBased::new(inst.dag.clone());
+    let r = simulate_meta(
+        &mut a,
+        &mut b,
+        &inst,
+        &MetaConfig {
+            processors: PAPER_PROCESSORS,
+            budget: 64, // bytes — absurd, guaranteeing abort
+            base: base.clone(),
+        },
+    );
+    println!(
+        "budget 64 B: A aborted = {}, winner = {}, makespan = {}",
+        r.a_aborted,
+        r.winner,
+        fmt_secs(r.makespan)
+    );
+    assert!(r.a_aborted && r.winner == "LevelBased");
+    println!("fallback behaves as Corollary 11 requires.");
+}

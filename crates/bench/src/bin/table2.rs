@@ -1,0 +1,83 @@
+//! Regenerate **Table II**: total makespan of the LBL(k) scheduler as the
+//! look-ahead parameter varies, against LogicBlox and plain LevelBased,
+//! on traces #1–#5 with 8 processors.
+//!
+//! The paper's shape to reproduce: LevelBased is the slowest (the
+//! per-level barrier), LBL improves monotonically with k, and by k ≈ 15–20
+//! it is near the LogicBlox makespan. All schedulers incur negligible
+//! scheduling overhead on these traces.
+//!
+//! Usage: `cargo run --release -p incr-bench --bin table2 [trace_ids...]`
+
+use incr_bench::{measure, Table, PAPER_PROCESSORS};
+use incr_sched::SchedulerKind;
+use incr_sim::EventSimConfig;
+use incr_traces::{generate, preset};
+
+fn main() {
+    let ids: Vec<u32> = {
+        let args: Vec<u32> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1, 2, 3, 4, 5]
+        } else {
+            args
+        }
+    };
+    let cfg = EventSimConfig {
+        processors: PAPER_PROCESSORS,
+        ..EventSimConfig::default()
+    };
+    let lineup = [
+        SchedulerKind::LogicBlox,
+        SchedulerKind::LevelBased,
+        SchedulerKind::Lookahead(5),
+        SchedulerKind::Lookahead(10),
+        SchedulerKind::Lookahead(15),
+        SchedulerKind::Lookahead(20),
+    ];
+
+    println!(
+        "Table II: total makespan (s), {} processors (measured | paper)\n",
+        PAPER_PROCESSORS
+    );
+    let mut table = Table::new(&[
+        "trace", "LogicBlox", "LevelBased", "LBL(5)", "LBL(10)", "LBL(15)", "LBL(20)",
+    ]);
+    let mut paper_rows = Table::new(&[
+        "trace", "LogicBlox", "LevelBased", "LBL(5)", "LBL(10)", "LBL(15)", "LBL(20)",
+    ]);
+    for id in ids {
+        let spec = preset(id);
+        let (inst, _) = generate(&spec);
+        let mut cells = vec![spec.name.to_string()];
+        for kind in lineup {
+            let m = measure(kind, &inst, &cfg);
+            cells.push(format!("{:.2}", m.result.makespan));
+            eprintln!(
+                "{} {:<12} makespan {:>10.2}s overhead {:>10.6}s (wall {:.2}s)",
+                spec.name,
+                m.label,
+                m.result.makespan,
+                m.result.sched_overhead,
+                m.wall_seconds
+            );
+        }
+        table.row(cells);
+        let p = &spec.paper;
+        let lbl = p.lbl.unwrap_or([f64::NAN; 4]);
+        paper_rows.row(vec![
+            spec.name.to_string(),
+            format!("{:.2}", p.lbx_makespan.unwrap_or(f64::NAN)),
+            format!("{:.2}", p.lb_makespan.unwrap_or(f64::NAN)),
+            format!("{:.2}", lbl[0]),
+            format!("{:.2}", lbl[1]),
+            format!("{:.2}", lbl[2]),
+            format!("{:.2}", lbl[3]),
+        ]);
+    }
+    println!("measured:\n{}", table.render());
+    println!("paper:\n{}", paper_rows.render());
+}

@@ -1,0 +1,85 @@
+//! Regenerate **Table III**: makespan and scheduling overhead for the
+//! LogicBlox, LevelBased and Hybrid schedulers on traces #6–#11, 8
+//! processors.
+//!
+//! The paper's shape to reproduce:
+//! * Hybrid makespan ≈ (or better than) LogicBlox everywhere except a
+//!   small premium on traces where LevelBased is much worse (#7);
+//! * Hybrid overhead strictly below LogicBlox overhead on every trace,
+//!   with the dramatic reductions on the shallow-wide traces #6 and #11
+//!   where the LogicBlox active-queue scan is the bottleneck;
+//! * LevelBased overhead is microscopic everywhere (the `O(n + L)`
+//!   guarantee).
+//!
+//! Usage: `cargo run --release -p incr-bench --bin table3 [trace_ids...]`
+
+use incr_bench::{fmt_secs, measure, Table, PAPER_PROCESSORS};
+use incr_sched::SchedulerKind;
+use incr_sim::EventSimConfig;
+use incr_traces::{generate, preset};
+
+fn main() {
+    let ids: Vec<u32> = {
+        let args: Vec<u32> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![6, 7, 8, 9, 10, 11]
+        } else {
+            args
+        }
+    };
+    let cfg = EventSimConfig {
+        processors: PAPER_PROCESSORS,
+        ..EventSimConfig::default()
+    };
+    let lineup = [
+        SchedulerKind::LogicBlox,
+        SchedulerKind::LevelBased,
+        SchedulerKind::HybridBackground(1),
+    ];
+
+    println!(
+        "Table III: (makespan, scheduling overhead), {} processors\n",
+        PAPER_PROCESSORS
+    );
+    let mut table = Table::new(&["trace", "LogicBlox", "LevelBased", "Hybrid"]);
+    let mut paper = Table::new(&["trace", "LogicBlox", "LevelBased", "Hybrid"]);
+    for id in ids {
+        let spec = preset(id);
+        let (inst, _) = generate(&spec);
+        let mut cells = vec![spec.name.to_string()];
+        for kind in lineup {
+            let m = measure(kind, &inst, &cfg);
+            cells.push(format!(
+                "({}, {})",
+                fmt_secs(m.result.makespan),
+                fmt_secs(m.result.sched_overhead)
+            ));
+            eprintln!(
+                "{} {:<14} makespan {:>12.4}s overhead {:>12.6}s (wall {:.2}s, precompute {:.2}s)",
+                spec.name,
+                m.label,
+                m.result.makespan,
+                m.result.sched_overhead,
+                m.wall_seconds,
+                m.precompute_seconds
+            );
+        }
+        table.row(cells);
+        let p = &spec.paper;
+        let cell = |m: Option<f64>, o: Option<f64>| match (m, o) {
+            (Some(m), Some(o)) => format!("({}, {})", fmt_secs(m), fmt_secs(o)),
+            _ => "-".to_string(),
+        };
+        paper.row(vec![
+            spec.name.to_string(),
+            cell(p.lbx_makespan, p.lbx_overhead),
+            cell(p.lb_makespan, p.lb_overhead),
+            cell(p.hybrid_makespan, p.hybrid_overhead),
+        ]);
+    }
+    println!("measured:\n{}", table.render());
+    println!("paper:\n{}", paper.render());
+}

@@ -1,0 +1,250 @@
+//! A scheduling *instance*: the DAG `G`, per-task execution metadata, the
+//! initially-dirtied tasks, and the (hidden) activation behaviour that
+//! induces the active graph `H = (W, F)` (paper §II-A).
+//!
+//! The activation behaviour is data the *environment* (simulator, runtime,
+//! Datalog engine) replays or computes; schedulers never read it directly —
+//! they only observe `start(initial)` and `on_completed(v, fired)` events,
+//! exactly as in the paper where "the active graph is dynamically revealed
+//! over time as the nodes are executed".
+
+use incr_dag::reach::NodeSet;
+use incr_dag::{Dag, NodeId};
+use std::sync::Arc;
+
+/// Internal structure of one task, for the unit-step simulator (the paper's
+/// DAG model of computation, §IV): a task is itself a DAG `D_u` of unit
+/// subtasks with some work `w` and span `S^T`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskShape {
+    /// One unit of work (`w = S^T = 1`) — the Lemma 3 regime.
+    Unit,
+    /// `work` independent unit subtasks (fully parallelizable, `S^T = 1`
+    /// stage) — the Lemma 5 regime.
+    Parallel { work: u32 },
+    /// A sequential chain: `work = span = len` — no internal parallelism,
+    /// the shape of the `k_i` tasks in the Figure 2 tight example.
+    Chain { len: u32 },
+    /// General case: `span` sequential stages over `work` total units, each
+    /// stage up to `ceil(work / span)` wide — the Lemma 7 regime.
+    WorkSpan { work: u32, span: u32 },
+}
+
+impl TaskShape {
+    /// Total units of work `w_u`.
+    pub fn work(&self) -> u64 {
+        match *self {
+            TaskShape::Unit => 1,
+            TaskShape::Parallel { work } => work as u64,
+            TaskShape::Chain { len } => len as u64,
+            TaskShape::WorkSpan { work, .. } => work as u64,
+        }
+    }
+
+    /// Task span `S^T_u` (critical path of `D_u`).
+    pub fn span(&self) -> u64 {
+        match *self {
+            TaskShape::Unit => 1,
+            TaskShape::Parallel { .. } => 1,
+            TaskShape::Chain { len } => len as u64,
+            TaskShape::WorkSpan { span, .. } => span as u64,
+        }
+    }
+}
+
+/// A complete scheduling instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The computation DAG `G`.
+    pub dag: Arc<Dag>,
+    /// Per-node processing time in seconds, for the event simulator
+    /// (production job traces carry this, §VI-A).
+    pub durations: Vec<f64>,
+    /// Per-node internal shape, for the unit-step simulator.
+    pub shapes: Vec<TaskShape>,
+    /// Initially-dirtied tasks (the trace's "initial tasks", Table I).
+    pub initial_active: Vec<NodeId>,
+    /// `fired[v]` = children whose input changes when `v` executes; this is
+    /// the hidden edge set `F` of the active graph. Children listed here
+    /// must be children of `v` in `G`.
+    pub fired: Vec<Vec<NodeId>>,
+}
+
+impl Instance {
+    /// Build an instance with unit durations/shapes and no firing edges.
+    pub fn unit(dag: Arc<Dag>, initial_active: Vec<NodeId>) -> Instance {
+        let n = dag.node_count();
+        Instance {
+            dag,
+            durations: vec![1.0; n],
+            shapes: vec![TaskShape::Unit; n],
+            initial_active,
+            fired: vec![Vec::new(); n],
+        }
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.dag.node_count();
+        if self.durations.len() != n || self.shapes.len() != n || self.fired.len() != n {
+            return Err(format!(
+                "side-table lengths ({}, {}, {}) do not match node count {}",
+                self.durations.len(),
+                self.shapes.len(),
+                self.fired.len(),
+                n
+            ));
+        }
+        for v in &self.initial_active {
+            if v.index() >= n {
+                return Err(format!("initial task {v} out of range"));
+            }
+        }
+        for (i, d) in self.durations.iter().enumerate() {
+            if !d.is_finite() || *d < 0.0 {
+                return Err(format!("bad duration {d} on node {i}"));
+            }
+        }
+        for (i, fs) in self.fired.iter().enumerate() {
+            let u = NodeId::from_index(i);
+            for &c in fs {
+                if !self.dag.has_edge(u, c) {
+                    return Err(format!("fired edge {u}->{c} is not an edge of G"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute the set `W` of nodes that will be activated over a full run:
+    /// the closure of `initial_active` under the `fired` edges. `|W|` is
+    /// the "active jobs" column of Table I.
+    pub fn active_closure(&self) -> NodeSet {
+        let mut active = NodeSet::new(self.dag.node_count());
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &v in &self.initial_active {
+            if active.insert(v) {
+                queue.push(v);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &c in &self.fired[u.index()] {
+                if active.insert(c) {
+                    queue.push(c);
+                }
+            }
+        }
+        active
+    }
+
+    /// Total active work `w` (sum of durations over `W`), the numerator of
+    /// every `w/P` bound.
+    pub fn active_work_seconds(&self) -> f64 {
+        self.active_closure()
+            .iter()
+            .map(|v| self.durations[v.index()])
+            .sum()
+    }
+
+    /// Total active work in unit-subtask units (for the step simulator).
+    pub fn active_work_units(&self) -> u64 {
+        self.active_closure()
+            .iter()
+            .map(|v| self.shapes[v.index()].work())
+            .sum()
+    }
+
+    /// `S_i` per level: the maximum task span among *active* tasks at each
+    /// level (Definition 6); `Σ S_i` appears in the Lemma 7 bound.
+    pub fn level_spans(&self) -> Vec<u64> {
+        let mut spans = vec![0u64; self.dag.num_levels() as usize];
+        for v in self.active_closure().iter() {
+            let l = self.dag.level(v) as usize;
+            spans[l] = spans[l].max(self.shapes[v.index()].span());
+        }
+        spans
+    }
+
+    /// Number of active nodes `n = |W|`.
+    pub fn active_count(&self) -> usize {
+        self.active_closure().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::DagBuilder;
+
+    fn chain3() -> Arc<Dag> {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn shape_work_and_span() {
+        assert_eq!(TaskShape::Unit.work(), 1);
+        assert_eq!(TaskShape::Parallel { work: 9 }.span(), 1);
+        assert_eq!(TaskShape::Chain { len: 4 }.work(), 4);
+        assert_eq!(TaskShape::Chain { len: 4 }.span(), 4);
+        let ws = TaskShape::WorkSpan { work: 12, span: 3 };
+        assert_eq!(ws.work(), 12);
+        assert_eq!(ws.span(), 3);
+    }
+
+    #[test]
+    fn closure_follows_fired_edges() {
+        let mut inst = Instance::unit(chain3(), vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(1)];
+        // Node 1 fires nothing: node 2 never activates.
+        let w = inst.active_closure();
+        assert!(w.contains(NodeId(0)));
+        assert!(w.contains(NodeId(1)));
+        assert!(!w.contains(NodeId(2)));
+        assert_eq!(inst.active_count(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_nonedges() {
+        let mut inst = Instance::unit(chain3(), vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(2)]; // not an edge of G
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_durations() {
+        let mut inst = Instance::unit(chain3(), vec![]);
+        inst.durations[1] = f64::NAN;
+        assert!(inst.validate().is_err());
+        inst.durations[1] = -1.0;
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let mut inst = Instance::unit(chain3(), vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(1)];
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn work_and_spans() {
+        let mut inst = Instance::unit(chain3(), vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(1)];
+        inst.durations = vec![2.0, 3.0, 100.0];
+        inst.shapes = vec![
+            TaskShape::Unit,
+            TaskShape::Chain { len: 5 },
+            TaskShape::Parallel { work: 7 },
+        ];
+        assert_eq!(inst.active_work_seconds(), 5.0);
+        assert_eq!(inst.active_work_units(), 6);
+        assert_eq!(inst.level_spans(), vec![1, 5, 0]);
+    }
+}

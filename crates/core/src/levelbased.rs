@@ -1,0 +1,318 @@
+//! The LevelBased scheduler (paper §III, analysed in §IV).
+//!
+//! Precomputation: node levels, already cached on the [`Dag`] (`O(V + E)`
+//! time, `O(V)` space). At runtime the scheduler keeps active tasks in
+//! per-level buckets and maintains a monotone cursor `cur` at the lowest
+//! level with unfinished active tasks. By Lemma 1, *every* active task at
+//! `cur` is safe, so readiness checks are O(1) bucket pops — the whole run
+//! costs `O(n + L)` bucket operations (Theorem 2).
+//!
+//! The deliberate limitation (fixed by [`crate::lookahead`]): the cursor
+//! does not advance past a level until every active task on it has
+//! *completed*, so stragglers at a level idle the processors — the
+//! Figure 2 / Theorem 9 `Θ(ML)` worst case.
+
+use crate::cost::CostMeter;
+use crate::scheduler::{NodeState, Scheduler, StateTable};
+use incr_dag::{Dag, NodeId};
+use std::sync::Arc;
+
+/// LevelBased scheduler state. Create once per DAG; reuse across runs via
+/// [`Scheduler::start`].
+pub struct LevelBased {
+    pub(crate) dag: Arc<Dag>,
+    pub(crate) state: StateTable,
+    /// Per level: activated, not yet dispatched (entries may be stale if a
+    /// task was dispatched externally, e.g. by the look-ahead extension or
+    /// the hybrid's other sub-scheduler; stale entries are skipped on pop).
+    pub(crate) buckets: Vec<Vec<NodeId>>,
+    /// Per level: activated, not yet completed.
+    pub(crate) unfinished: Vec<u32>,
+    /// Lowest level that may still hold unfinished active tasks; advances
+    /// monotonically.
+    pub(crate) cur: u32,
+    pub(crate) cost: CostMeter,
+    /// Dispatched-but-uncompleted tasks (bounded by in-flight parallelism);
+    /// the look-ahead extension needs them for its blocking set.
+    pub(crate) running: Vec<NodeId>,
+    /// High-water mark of simultaneously tracked active tasks (the `O(n)`
+    /// space bound of Theorem 2 counts these).
+    pub(crate) peak_tracked: usize,
+}
+
+impl LevelBased {
+    pub fn new(dag: Arc<Dag>) -> Self {
+        let n = dag.node_count();
+        let l = dag.num_levels() as usize;
+        LevelBased {
+            dag,
+            state: StateTable::new(n),
+            buckets: vec![Vec::new(); l],
+            unfinished: vec![0; l],
+            cur: 0,
+            cost: CostMeter::default(),
+            running: Vec::new(),
+            peak_tracked: 0,
+        }
+    }
+
+    pub(crate) fn activate(&mut self, v: NodeId) {
+        if self.state.activate(v) {
+            self.cost.activations += 1;
+            self.cost.bucket_ops += 1;
+            let l = self.dag.level(v) as usize;
+            self.buckets[l].push(v);
+            self.unfinished[l] += 1;
+            self.peak_tracked = self.peak_tracked.max(self.state.active_unexecuted());
+        }
+    }
+
+    /// Record a dispatch (state transition + running list).
+    pub(crate) fn dispatch(&mut self, v: NodeId) {
+        self.state.dispatch(v);
+        self.running.push(v);
+    }
+
+    /// Advance the cursor past fully-completed levels.
+    pub(crate) fn advance_cursor(&mut self) {
+        let l = self.buckets.len() as u32;
+        while self.cur < l && self.unfinished[self.cur as usize] == 0 {
+            self.cur += 1;
+            self.cost.bucket_ops += 1;
+        }
+    }
+
+    /// Pop the next safe task at the current level, or `None` if the level
+    /// is drained-but-running (the barrier) or everything is done.
+    pub(crate) fn pop_at_cursor(&mut self) -> Option<NodeId> {
+        loop {
+            self.advance_cursor();
+            if (self.cur as usize) >= self.buckets.len() {
+                return None;
+            }
+            let bucket = &mut self.buckets[self.cur as usize];
+            while let Some(v) = bucket.pop() {
+                self.cost.bucket_ops += 1;
+                // Skip entries dispatched externally (look-ahead / hybrid).
+                if self.state.get(v) == NodeState::Active {
+                    self.state.dispatch(v);
+                    self.running.push(v);
+                    return Some(v);
+                }
+            }
+            if self.unfinished[self.cur as usize] > 0 {
+                // Drained of poppable tasks but stragglers are running:
+                // the LevelBased barrier.
+                return None;
+            }
+            // Every task at this level completed via external dispatch;
+            // the cursor can move on.
+        }
+    }
+
+    /// The current cursor level (for the look-ahead extension and tests).
+    pub fn current_level(&self) -> u32 {
+        self.cur
+    }
+
+    /// High-water mark of tracked active tasks (Theorem 2 space check).
+    pub fn peak_tracked(&self) -> usize {
+        self.peak_tracked
+    }
+}
+
+impl Scheduler for LevelBased {
+    fn name(&self) -> &str {
+        "LevelBased"
+    }
+
+    fn start(&mut self, initial_active: &[NodeId]) {
+        self.state.reset();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.unfinished.fill(0);
+        self.cur = 0;
+        self.cost = CostMeter::default();
+        self.running.clear();
+        self.peak_tracked = 0;
+        for &v in initial_active {
+            self.activate(v);
+        }
+    }
+
+    fn on_completed(&mut self, v: NodeId, fired: &[NodeId]) {
+        self.cost.completions += 1;
+        self.state.complete(v);
+        if let Some(i) = self.running.iter().position(|&r| r == v) {
+            self.running.swap_remove(i);
+        }
+        self.unfinished[self.dag.level(v) as usize] -= 1;
+        for &c in fired {
+            debug_assert!(
+                self.dag.level(c) > self.cur || self.unfinished[self.cur as usize] > 0,
+                "activation below the cursor would violate Lemma 1"
+            );
+            self.activate(c);
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<NodeId> {
+        self.cost.pops += 1;
+        self.pop_at_cursor()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.state.active_unexecuted() == 0
+    }
+
+    fn cost(&self) -> CostMeter {
+        self.cost
+    }
+
+    fn space_bytes(&self) -> usize {
+        let entries: usize = self.buckets.iter().map(Vec::len).sum();
+        (entries + self.running.len()) * std::mem::size_of::<NodeId>()
+            + self.unfinished.len() * std::mem::size_of::<u32>()
+            + self.state.bytes()
+    }
+
+    fn precompute_bytes(&self) -> usize {
+        // One level number per node of G (paper §II-B: "the scheduler only
+        // needs to store one number for each node").
+        self.dag.node_count() * std::mem::size_of::<u32>()
+    }
+
+    fn on_external_dispatch(&mut self, v: NodeId) {
+        if self.state.get(v) == NodeState::Active {
+            // The bucket entry becomes stale and is skipped at pop time;
+            // `unfinished` still gates the cursor until completion arrives.
+            self.dispatch(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::DagBuilder;
+
+    /// 0 -> {1,2} -> 3 ; plus an independent source 4 -> 5.
+    fn dag() -> Arc<Dag> {
+        let mut b = DagBuilder::new(6);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn pops_level_by_level() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0), NodeId(4)]);
+        // Level 0: both sources poppable before anything completes.
+        let a = s.pop_ready().unwrap();
+        let b = s.pop_ready().unwrap();
+        assert_eq!(s.dag.level(a), 0);
+        assert_eq!(s.dag.level(b), 0);
+        assert!(s.pop_ready().is_none(), "level 0 drained; barrier");
+        s.on_completed(a, &[]);
+        s.on_completed(b, &[]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn barrier_blocks_next_level_until_completion() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        let t0 = s.pop_ready().unwrap();
+        assert_eq!(t0, NodeId(0));
+        s.on_completed(t0, &[NodeId(1), NodeId(2)]);
+        let t1 = s.pop_ready().unwrap();
+        let t2 = s.pop_ready().unwrap();
+        assert_eq!(s.dag.level(t1), 1);
+        assert_eq!(s.dag.level(t2), 1);
+        // Complete only one of the two level-1 tasks and fire level 2.
+        s.on_completed(t1, &[NodeId(3)]);
+        assert!(
+            s.pop_ready().is_none(),
+            "level-1 straggler must block level 2 (the LevelBased barrier)"
+        );
+        s.on_completed(t2, &[NodeId(3)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(3)));
+        s.on_completed(NodeId(3), &[]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn duplicate_activations_ignored() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        let t0 = s.pop_ready().unwrap();
+        // Both parents fire node 3's input eventually; here both level-1
+        // tasks fire the same child.
+        s.on_completed(t0, &[NodeId(1), NodeId(2)]);
+        let a = s.pop_ready().unwrap();
+        let b = s.pop_ready().unwrap();
+        s.on_completed(a, &[NodeId(3)]);
+        s.on_completed(b, &[NodeId(3)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(3)));
+        assert!(s.pop_ready().is_none());
+        s.on_completed(NodeId(3), &[]);
+        assert!(s.is_quiescent());
+        assert_eq!(s.state.activated_total(), 4);
+    }
+
+    #[test]
+    fn cost_is_linear_in_n_plus_l() {
+        // Chain of 200: n = 200 active, L = 200 levels.
+        let n = 200u32;
+        let mut b = DagBuilder::new(n as usize);
+        for i in 1..n {
+            b.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        let dag = Arc::new(b.build().unwrap());
+        let mut s = LevelBased::new(dag);
+        s.start(&[NodeId(0)]);
+        let mut done = 0u32;
+        while let Some(t) = {
+            
+            s.pop_ready()
+        } {
+            let fired: Vec<NodeId> = if t.0 + 1 < n { vec![NodeId(t.0 + 1)] } else { vec![] };
+            s.on_completed(t, &fired);
+            done += 1;
+        }
+        assert_eq!(done, n);
+        let c = s.cost();
+        // Bucket ops: one push + one pop per node + <= L cursor advances.
+        assert!(
+            c.bucket_ops <= 3 * n as u64 + n as u64,
+            "bucket_ops {} not O(n + L)",
+            c.bucket_ops
+        );
+        assert_eq!(c.scan_steps, 0);
+        assert_eq!(c.ancestor_queries, 0);
+    }
+
+    #[test]
+    fn peak_tracked_counts_active_set() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        let t = s.pop_ready().unwrap();
+        s.on_completed(t, &[NodeId(1), NodeId(2)]);
+        assert_eq!(s.peak_tracked(), 2);
+    }
+
+    #[test]
+    fn restart_resets_state() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        let t = s.pop_ready().unwrap();
+        s.on_completed(t, &[]);
+        assert!(s.is_quiescent());
+        s.start(&[NodeId(4)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(4)));
+        assert_eq!(s.cost().pops, 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! The scheduler protocol shared by every algorithm in this crate, plus a
+//! reference *exact-readiness* scheduler used as ground truth in tests.
+//!
+//! The environment (event simulator, step simulator, threaded runtime, or
+//! the Datalog engine) drives a scheduler through three entry points:
+//!
+//! 1. [`Scheduler::start`] — delivers the initially-dirty tasks.
+//! 2. [`Scheduler::pop_ready`] — called whenever a processor is idle; the
+//!    scheduler may do internal work (scans, look-ahead BFS) and must
+//!    charge it to its [`CostMeter`].
+//! 3. [`Scheduler::on_completed`] — reports an executed task together with
+//!    the children whose input actually changed (`fired`), which is how the
+//!    hidden active graph `H` is revealed (paper §II-A).
+//!
+//! # The safety invariant
+//!
+//! A popped task must be **safe**: active, not yet executed, and with no
+//! active-and-uncompleted node among its ancestors in `G` — otherwise it
+//! might have to be re-executed, which the model forbids. The
+//! [`SafetyChecker`] verifies this invariant against ground-truth
+//! reachability and is wired into every simulator run in tests.
+
+use crate::cost::CostMeter;
+use incr_dag::reach::{self, NodeSet};
+use incr_dag::{Dag, NodeId};
+use std::sync::Arc;
+
+/// Lifecycle of a node during one scheduling run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeState {
+    /// Not (yet) activated.
+    Clean = 0,
+    /// Activated, waiting to be deemed safe.
+    Active = 1,
+    /// Popped by the environment; executing.
+    Running = 2,
+    /// Execution finished.
+    Done = 3,
+}
+
+/// The scheduling protocol. See the module docs for the driving contract.
+pub trait Scheduler: Send {
+    /// Human-readable algorithm name (table row labels).
+    fn name(&self) -> &str;
+
+    /// Reset all run state and deliver the initially-activated tasks.
+    fn start(&mut self, initial_active: &[NodeId]);
+
+    /// Report that `v` finished executing and that the children in `fired`
+    /// received changed input (and are therefore now active).
+    fn on_completed(&mut self, v: NodeId, fired: &[NodeId]);
+
+    /// Ask for one safe task. `None` means "none known right now" — more
+    /// may surface after future completions.
+    fn pop_ready(&mut self) -> Option<NodeId>;
+
+    /// True when every activated task has completed.
+    fn is_quiescent(&self) -> bool;
+
+    /// Accumulated scheduling cost for this run.
+    fn cost(&self) -> CostMeter;
+
+    /// Current run-state memory footprint estimate in bytes (excludes
+    /// precomputed structures; see [`Scheduler::precompute_bytes`]).
+    fn space_bytes(&self) -> usize;
+
+    /// Memory held by precomputed structures (levels, interval lists).
+    fn precompute_bytes(&self) -> usize;
+
+    /// Another scheduler sharing the run (the Hybrid of §V) dispatched `v`;
+    /// update bookkeeping so this scheduler never offers `v` itself. The
+    /// task still blocks descendants until its completion is reported.
+    fn on_external_dispatch(&mut self, v: NodeId);
+}
+
+/// Shared per-node state table with the bookkeeping every scheduler needs.
+#[derive(Clone, Debug)]
+pub struct StateTable {
+    states: Vec<NodeState>,
+    active_unexecuted: usize,
+    activated_total: usize,
+}
+
+impl StateTable {
+    pub fn new(n: usize) -> Self {
+        StateTable {
+            states: vec![NodeState::Clean; n],
+            active_unexecuted: 0,
+            activated_total: 0,
+        }
+    }
+
+    pub fn reset(&mut self) {
+        self.states.fill(NodeState::Clean);
+        self.active_unexecuted = 0;
+        self.activated_total = 0;
+    }
+
+    #[inline]
+    pub fn get(&self, v: NodeId) -> NodeState {
+        self.states[v.index()]
+    }
+
+    /// Mark `v` active; returns true if this is a new activation.
+    /// Panics (debug) if `v` already ran — activation-after-execution is a
+    /// model violation (the task would need re-execution).
+    pub fn activate(&mut self, v: NodeId) -> bool {
+        match self.states[v.index()] {
+            NodeState::Clean => {
+                self.states[v.index()] = NodeState::Active;
+                self.active_unexecuted += 1;
+                self.activated_total += 1;
+                true
+            }
+            NodeState::Active => false,
+            s => {
+                debug_assert!(false, "activated {v} in state {s:?} (already executed)");
+                false
+            }
+        }
+    }
+
+    /// Transition Active -> Running when the environment pops `v`.
+    pub fn dispatch(&mut self, v: NodeId) {
+        debug_assert_eq!(self.states[v.index()], NodeState::Active, "double pop of {v}");
+        self.states[v.index()] = NodeState::Running;
+    }
+
+    /// Transition Running -> Done.
+    pub fn complete(&mut self, v: NodeId) {
+        debug_assert_eq!(self.states[v.index()], NodeState::Running, "completion of non-running {v}");
+        self.states[v.index()] = NodeState::Done;
+        self.active_unexecuted -= 1;
+    }
+
+    /// Activated tasks not yet completed (includes running ones): the
+    /// scheduler is quiescent when this hits zero.
+    #[inline]
+    pub fn active_unexecuted(&self) -> usize {
+        self.active_unexecuted
+    }
+
+    /// Total activations over the run (`n = |W|` once quiescent).
+    #[inline]
+    pub fn activated_total(&self) -> usize {
+        self.activated_total
+    }
+
+    /// Bytes held by the table itself.
+    pub fn bytes(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Reference scheduler with *exact* readiness: a task is offered as soon
+/// as no active-uncompleted node is its ancestor, computed from ground
+/// truth reachability (precomputed descendant bitsets). It is the
+/// quality ceiling for greedy schedules — the LogicBlox baseline matches
+/// its decisions, just with different discovery cost — and serves as the
+/// "optimal scheduler" comparator of the Figure 2 analysis, where greedy
+/// exact readiness achieves the `Θ(M + L)` schedule.
+///
+/// Memory is `O(V²/64)` bits; use on test- and bench-scale instances only.
+pub struct ExactGreedy {
+    dag: Arc<Dag>,
+    /// descendants[a] as a bitset, precomputed.
+    descendants: Vec<NodeSet>,
+    state: StateTable,
+    /// Active tasks currently blocked (superset; re-filtered on pops).
+    blocked: Vec<NodeId>,
+    ready: Vec<NodeId>,
+    /// Active-uncompleted nodes, list + membership for the readiness test.
+    blockers: Vec<NodeId>,
+    cost: CostMeter,
+}
+
+impl ExactGreedy {
+    pub fn new(dag: Arc<Dag>) -> Self {
+        let descendants = dag
+            .nodes()
+            .map(|v| reach::descendants(&dag, v))
+            .collect();
+        let n = dag.node_count();
+        ExactGreedy {
+            dag,
+            descendants,
+            state: StateTable::new(n),
+            blocked: Vec::new(),
+            ready: Vec::new(),
+            blockers: Vec::new(),
+            cost: CostMeter::default(),
+        }
+    }
+
+    fn is_safe(&self, t: NodeId) -> bool {
+        self.blockers
+            .iter()
+            .all(|&a| a == t || !self.descendants[a.index()].contains(t))
+    }
+
+    /// Re-derive the ready set from scratch (exact, eager).
+    fn refresh(&mut self) {
+        let mut still_blocked = Vec::new();
+        let blocked = std::mem::take(&mut self.blocked);
+        for t in blocked {
+            if self.state.get(t) != NodeState::Active {
+                continue;
+            }
+            if self.is_safe(t) {
+                self.ready.push(t);
+            } else {
+                still_blocked.push(t);
+            }
+        }
+        self.blocked = still_blocked;
+    }
+}
+
+impl Scheduler for ExactGreedy {
+    fn name(&self) -> &str {
+        "ExactGreedy"
+    }
+
+    fn start(&mut self, initial_active: &[NodeId]) {
+        self.state.reset();
+        self.blocked.clear();
+        self.ready.clear();
+        self.blockers.clear();
+        self.cost = CostMeter::default();
+        for &v in initial_active {
+            if self.state.activate(v) {
+                self.cost.activations += 1;
+                self.blocked.push(v);
+                self.blockers.push(v);
+            }
+        }
+        self.refresh();
+    }
+
+    fn on_completed(&mut self, v: NodeId, fired: &[NodeId]) {
+        self.cost.completions += 1;
+        self.state.complete(v);
+        self.blockers.retain(|&b| b != v);
+        for &c in fired {
+            if self.state.activate(c) {
+                self.cost.activations += 1;
+                self.blocked.push(c);
+                self.blockers.push(c);
+            }
+        }
+        self.refresh();
+    }
+
+    fn pop_ready(&mut self) -> Option<NodeId> {
+        self.cost.pops += 1;
+        while let Some(t) = self.ready.pop() {
+            // Skip entries dispatched externally (hybrid runs).
+            if self.state.get(t) == NodeState::Active {
+                self.state.dispatch(t);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.state.active_unexecuted() == 0
+    }
+
+    fn cost(&self) -> CostMeter {
+        self.cost
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.state.bytes()
+            + (self.blocked.len() + self.ready.len() + self.blockers.len())
+                * std::mem::size_of::<NodeId>()
+    }
+
+    fn precompute_bytes(&self) -> usize {
+        // V bitsets of V bits.
+        self.dag.node_count() * self.dag.node_count() / 8
+    }
+
+    fn on_external_dispatch(&mut self, v: NodeId) {
+        if self.state.get(v) == NodeState::Active {
+            self.state.dispatch(v);
+        }
+    }
+}
+
+/// Ground-truth auditor: wraps the environment side and asserts the safety
+/// invariant for every popped task, that no task is popped twice, and (at
+/// quiescence) that exactly the active closure was executed.
+pub struct SafetyChecker {
+    dag: Arc<Dag>,
+    state: StateTable,
+    executed: Vec<NodeId>,
+}
+
+impl SafetyChecker {
+    pub fn new(dag: Arc<Dag>) -> Self {
+        let n = dag.node_count();
+        SafetyChecker {
+            dag,
+            state: StateTable::new(n),
+            executed: Vec::new(),
+        }
+    }
+
+    pub fn on_start(&mut self, initial_active: &[NodeId]) {
+        self.state.reset();
+        self.executed.clear();
+        for &v in initial_active {
+            self.state.activate(v);
+        }
+    }
+
+    /// Assert `t` is safe at pop time.
+    pub fn on_pop(&mut self, t: NodeId) {
+        assert_eq!(
+            self.state.get(t),
+            NodeState::Active,
+            "popped {t} in state {:?}",
+            self.state.get(t)
+        );
+        // No active-uncompleted ancestor.
+        for v in self.dag.nodes() {
+            let st = self.state.get(v);
+            if (st == NodeState::Active || st == NodeState::Running)
+                && reach::is_ancestor(&self.dag, v, t)
+            {
+                panic!("unsafe pop: {t} has active-uncompleted ancestor {v}");
+            }
+        }
+        self.state.dispatch(t);
+        self.executed.push(t);
+    }
+
+    pub fn on_complete(&mut self, v: NodeId, fired: &[NodeId]) {
+        self.state.complete(v);
+        for &c in fired {
+            self.state.activate(c);
+        }
+    }
+
+    /// Assert at end of run: everything activated was executed exactly once.
+    pub fn on_finish(&mut self) {
+        assert_eq!(
+            self.state.active_unexecuted(),
+            0,
+            "run finished with unexecuted active tasks"
+        );
+        assert_eq!(
+            self.executed.len(),
+            self.state.activated_total(),
+            "executed count != activated count"
+        );
+    }
+
+    /// Number of tasks executed so far.
+    pub fn executed_count(&self) -> usize {
+        self.executed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::DagBuilder;
+
+    fn diamond() -> Arc<Dag> {
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn state_table_lifecycle() {
+        let mut st = StateTable::new(2);
+        assert!(st.activate(NodeId(0)));
+        assert!(!st.activate(NodeId(0)));
+        assert_eq!(st.active_unexecuted(), 1);
+        st.dispatch(NodeId(0));
+        assert_eq!(st.get(NodeId(0)), NodeState::Running);
+        st.complete(NodeId(0));
+        assert_eq!(st.get(NodeId(0)), NodeState::Done);
+        assert_eq!(st.active_unexecuted(), 0);
+        assert_eq!(st.activated_total(), 1);
+    }
+
+    #[test]
+    fn exact_greedy_runs_diamond_in_safe_order() {
+        let dag = diamond();
+        let mut s = ExactGreedy::new(dag.clone());
+        let mut check = SafetyChecker::new(dag.clone());
+        s.start(&[NodeId(0)]);
+        check.on_start(&[NodeId(0)]);
+        // Drive serially: node 0 fires both children; they fire node 3.
+        let fired: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(3)],
+            vec![NodeId(3)],
+            vec![],
+        ];
+        let mut order = Vec::new();
+        while !s.is_quiescent() {
+            let t = s.pop_ready().expect("no stall expected");
+            check.on_pop(t);
+            order.push(t);
+            s.on_completed(t, &fired[t.index()]);
+            check.on_complete(t, &fired[t.index()]);
+        }
+        check.on_finish();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(order[3], NodeId(3));
+    }
+
+    #[test]
+    fn exact_greedy_offers_independent_actives_together() {
+        let dag = diamond();
+        let mut s = ExactGreedy::new(dag);
+        // Both middle nodes dirty, no data dependency between them.
+        s.start(&[NodeId(1), NodeId(2)]);
+        let a = s.pop_ready().unwrap();
+        let b = s.pop_ready().unwrap();
+        assert_ne!(a, b);
+        assert!(s.pop_ready().is_none());
+    }
+
+    #[test]
+    fn exact_greedy_blocks_descendant_until_ancestor_done() {
+        let dag = diamond();
+        let mut s = ExactGreedy::new(dag);
+        s.start(&[NodeId(1), NodeId(3)]);
+        let first = s.pop_ready().unwrap();
+        assert_eq!(first, NodeId(1), "3 must wait for its active ancestor 1");
+        assert!(s.pop_ready().is_none());
+        s.on_completed(NodeId(1), &[]);
+        assert_eq!(s.pop_ready(), Some(NodeId(3)));
+        s.on_completed(NodeId(3), &[]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe pop")]
+    fn safety_checker_catches_unsafe_pop() {
+        let dag = diamond();
+        let mut check = SafetyChecker::new(dag);
+        check.on_start(&[NodeId(1), NodeId(3)]);
+        check.on_pop(NodeId(3)); // 1 is an active uncompleted ancestor
+    }
+}

@@ -1,0 +1,239 @@
+//! Brute-force signal propagation (paper §II-C, second baseline).
+//!
+//! No precomputation at all. Every node waits for a signal ("changed" or
+//! "no change") from *every* parent; once all parents have signalled, an
+//! unchanged node immediately relays "no change" to its children, while a
+//! changed (active) node becomes ready and relays only after it executes.
+//! Total scheduling work is `Θ(V + E)` messages per run — independent of
+//! how few nodes are actually active, which is exactly the inefficiency
+//! the paper calls out.
+
+use crate::cost::CostMeter;
+use crate::scheduler::{NodeState, Scheduler, StateTable};
+use incr_dag::{Dag, NodeId};
+use std::sync::Arc;
+
+/// The signal-propagation scheduler.
+pub struct SignalPropagation {
+    dag: Arc<Dag>,
+    state: StateTable,
+    /// Parents that have not yet signalled, per node.
+    pending: Vec<u32>,
+    /// Input changed (some parent fired, or initially dirty).
+    changed: Vec<bool>,
+    /// Relay cascade worklist (unchanged nodes with all signals in).
+    relay: Vec<NodeId>,
+    ready: Vec<NodeId>,
+    cost: CostMeter,
+    peak_tracked: usize,
+}
+
+impl SignalPropagation {
+    pub fn new(dag: Arc<Dag>) -> Self {
+        let n = dag.node_count();
+        SignalPropagation {
+            dag,
+            state: StateTable::new(n),
+            pending: vec![0; n],
+            changed: vec![false; n],
+            relay: Vec::new(),
+            ready: Vec::new(),
+            cost: CostMeter::default(),
+            peak_tracked: 0,
+        }
+    }
+
+    /// All of `v`'s parents have signalled; classify it.
+    fn settle(&mut self, v: NodeId) {
+        debug_assert_eq!(self.pending[v.index()], 0);
+        if self.changed[v.index()] {
+            self.ready.push(v);
+            self.peak_tracked = self.peak_tracked.max(self.ready.len());
+        } else {
+            // Unchanged: relay "no change" onward immediately.
+            self.relay.push(v);
+        }
+    }
+
+    /// Send `v`'s signal to all children (one message per edge), settling
+    /// any child whose last signal just arrived; then drain the cascade of
+    /// no-change relays.
+    fn send_signals(&mut self, v: NodeId) {
+        self.cost.messages += self.dag.out_degree(v) as u64;
+        let len = self.dag.children(v).len();
+        for i in 0..len {
+            let c = self.dag.children(v)[i];
+            self.pending[c.index()] -= 1;
+            if self.pending[c.index()] == 0 {
+                self.settle(c);
+            }
+        }
+        self.drain_relays();
+    }
+
+    fn drain_relays(&mut self) {
+        while let Some(u) = self.relay.pop() {
+            self.cost.messages += self.dag.out_degree(u) as u64;
+            let len = self.dag.children(u).len();
+            for i in 0..len {
+                let c = self.dag.children(u)[i];
+                self.pending[c.index()] -= 1;
+                if self.pending[c.index()] == 0 {
+                    self.settle(c);
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for SignalPropagation {
+    fn name(&self) -> &str {
+        "SignalPropagation"
+    }
+
+    fn start(&mut self, initial_active: &[NodeId]) {
+        let n = self.dag.node_count();
+        self.state.reset();
+        self.changed.fill(false);
+        self.relay.clear();
+        self.ready.clear();
+        self.cost = CostMeter::default();
+        self.peak_tracked = 0;
+        for i in 0..n {
+            self.pending[i] = self.dag.in_degree(NodeId(i as u32)) as u32;
+        }
+        for &v in initial_active {
+            if self.state.activate(v) {
+                self.cost.activations += 1;
+            }
+            self.changed[v.index()] = true;
+        }
+        // Kick off: every source has all (zero) signals in.
+        for i in 0..n {
+            let v = NodeId(i as u32);
+            if self.pending[i] == 0 {
+                self.settle(v);
+            }
+        }
+        self.drain_relays();
+    }
+
+    fn on_completed(&mut self, v: NodeId, fired: &[NodeId]) {
+        self.cost.completions += 1;
+        self.state.complete(v);
+        for &c in fired {
+            if self.state.activate(c) {
+                self.cost.activations += 1;
+            }
+            self.changed[c.index()] = true;
+        }
+        self.send_signals(v);
+    }
+
+    fn pop_ready(&mut self) -> Option<NodeId> {
+        self.cost.pops += 1;
+        while let Some(t) = self.ready.pop() {
+            if self.state.get(t) == NodeState::Active {
+                self.state.dispatch(t);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.state.active_unexecuted() == 0
+    }
+
+    fn cost(&self) -> CostMeter {
+        self.cost
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.pending.len() * std::mem::size_of::<u32>()
+            + self.changed.len()
+            + (self.relay.len() + self.ready.len()) * std::mem::size_of::<NodeId>()
+            + self.state.bytes()
+    }
+
+    fn precompute_bytes(&self) -> usize {
+        0
+    }
+
+    fn on_external_dispatch(&mut self, v: NodeId) {
+        if self.state.get(v) == NodeState::Active {
+            self.state.dispatch(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::DagBuilder;
+
+    /// 0 -> 1 -> 3, 2 -> 3 (3 waits for both branches).
+    fn vee() -> Arc<Dag> {
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn inactive_sources_relay_immediately() {
+        let mut s = SignalPropagation::new(vee());
+        // Only source 0 dirty; source 2 relays no-change at start, so node
+        // 3 only waits on the active branch.
+        s.start(&[NodeId(0)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(0)));
+        assert!(s.pop_ready().is_none());
+        s.on_completed(NodeId(0), &[NodeId(1)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(1)));
+        s.on_completed(NodeId(1), &[NodeId(3)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(3)));
+        s.on_completed(NodeId(3), &[]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn unchanged_output_stops_cascade() {
+        let mut s = SignalPropagation::new(vee());
+        s.start(&[NodeId(0)]);
+        let t = s.pop_ready().unwrap();
+        // Node 0 runs but its output does not change: nothing downstream
+        // activates, and the no-change signal releases the chain.
+        s.on_completed(t, &[]);
+        assert!(s.pop_ready().is_none());
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn message_count_is_theta_edges() {
+        let mut s = SignalPropagation::new(vee());
+        s.start(&[NodeId(0)]);
+        while let Some(t) = s.pop_ready() {
+            let fired: Vec<NodeId> = s.dag.children(t).to_vec();
+            s.on_completed(t, &fired);
+        }
+        // Every edge carries exactly one signal.
+        assert_eq!(s.cost().messages, s.dag.edge_count() as u64);
+    }
+
+    #[test]
+    fn node_waits_for_all_parents_even_inactive_ones() {
+        // 0 -> 2, 1 -> 2; only 0 dirty, 1 clean. 2 must not be offered
+        // before 1's no-change relay, which happens at start.
+        let mut b = DagBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        let mut s = SignalPropagation::new(Arc::new(b.build().unwrap()));
+        s.start(&[NodeId(0)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(0)));
+        s.on_completed(NodeId(0), &[NodeId(2)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(2)));
+        s.on_completed(NodeId(2), &[]);
+        assert!(s.is_quiescent());
+    }
+}

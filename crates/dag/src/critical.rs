@@ -1,0 +1,116 @@
+//! Weighted critical path: the `C` in the arbitrary-job makespan bound
+//! `O(w/P + C)` (paper §II-B).
+
+use crate::graph::{Dag, NodeId};
+
+/// Longest weighted path through the DAG, where `weight[v]` is the work
+/// (span) of node `v`; edges carry no weight. `O(V + E)`.
+///
+/// Returns 0.0 for an empty graph. Weights must be non-negative.
+pub fn critical_path(dag: &Dag, weight: &[f64]) -> f64 {
+    assert_eq!(weight.len(), dag.node_count(), "one weight per node");
+    let mut best = vec![0.0f64; dag.node_count()];
+    let mut max = 0.0f64;
+    for &v in dag.topo_order() {
+        let mut incoming: f64 = 0.0;
+        for &p in dag.parents(v) {
+            if best[p.index()] > incoming {
+                incoming = best[p.index()];
+            }
+        }
+        let w = weight[v.index()];
+        debug_assert!(w >= 0.0, "negative weight on {v}");
+        best[v.index()] = incoming + w;
+        if best[v.index()] > max {
+            max = best[v.index()];
+        }
+    }
+    max
+}
+
+/// Critical path restricted to a subset of nodes (e.g. the active set `W`):
+/// nodes outside the subset contribute zero weight but still relay
+/// precedence. This bounds the realized span `S` of the active graph from
+/// above (Definition 4: the active graph's precedence is a subset of `G`'s).
+pub fn critical_path_over(dag: &Dag, weight: &[f64], member: impl Fn(NodeId) -> bool) -> f64 {
+    assert_eq!(weight.len(), dag.node_count(), "one weight per node");
+    let mut best = vec![0.0f64; dag.node_count()];
+    let mut max = 0.0f64;
+    for &v in dag.topo_order() {
+        let mut incoming: f64 = 0.0;
+        for &p in dag.parents(v) {
+            if best[p.index()] > incoming {
+                incoming = best[p.index()];
+            }
+        }
+        let w = if member(v) { weight[v.index()] } else { 0.0 };
+        best[v.index()] = incoming + w;
+        if best[v.index()] > max {
+            max = best[v.index()];
+        }
+    }
+    max
+}
+
+/// Total work of a subset (sum of weights), the `w` in every makespan bound.
+pub fn total_work(dag: &Dag, weight: &[f64], member: impl Fn(NodeId) -> bool) -> f64 {
+    dag.nodes()
+        .filter(|&v| member(v))
+        .map(|v| weight[v.index()])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn picks_heavier_branch() {
+        let d = diamond();
+        // Branch through node 2 is heavier.
+        let w = [1.0, 1.0, 5.0, 1.0];
+        assert_eq!(critical_path(&d, &w), 7.0);
+    }
+
+    #[test]
+    fn chain_sums_weights() {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        let d = b.build().unwrap();
+        assert_eq!(critical_path(&d, &[2.0, 3.0, 4.0]), 9.0);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let d = DagBuilder::new(0).build().unwrap();
+        assert_eq!(critical_path(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let d = diamond();
+        let w = [1.0, 1.0, 5.0, 1.0];
+        // Only nodes 0 and 3 are members: path weight 1 + 1, relayed
+        // through zero-weight middle nodes.
+        let c = critical_path_over(&d, &w, |v| v == NodeId(0) || v == NodeId(3));
+        assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn total_work_over_subset() {
+        let d = diamond();
+        let w = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(total_work(&d, &w, |_| true), 10.0);
+        assert_eq!(total_work(&d, &w, |v| v.index() % 2 == 0), 4.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Graphviz DOT export, for inspecting instances the way the paper's
+//! Figure 1 visualizes trace #1's computation DAG.
+
+use crate::graph::{Dag, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name in the `digraph` header.
+    pub name: String,
+    /// Rank nodes by level (adds `rank=same` clusters per level).
+    pub rank_by_level: bool,
+    /// Cap on emitted nodes; the production DAGs are "a mile long at 300
+    /// DPI" (Figure 1 caption), so excerpts are the useful rendering.
+    pub max_nodes: Option<usize>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "dag".to_string(),
+            rank_by_level: true,
+            max_nodes: Some(2_000),
+        }
+    }
+}
+
+/// Render the DAG (or a prefix excerpt) to DOT. `highlight(v)` returns an
+/// optional fill color name for node `v` — used to mark activated nodes.
+pub fn to_dot(
+    dag: &Dag,
+    opts: &DotOptions,
+    mut highlight: impl FnMut(NodeId) -> Option<&'static str>,
+) -> String {
+    let limit = opts.max_nodes.unwrap_or(usize::MAX).min(dag.node_count());
+    let included = |v: NodeId| v.index() < limit;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", opts.name);
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle, fontsize=8];");
+    for v in dag.nodes().take(limit) {
+        match highlight(v) {
+            Some(color) => {
+                let _ = writeln!(
+                    out,
+                    "  {} [style=filled, fillcolor={}, label=\"{}\"];",
+                    v.index(),
+                    color,
+                    v.index()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", v.index(), v.index());
+            }
+        }
+    }
+    if opts.rank_by_level {
+        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); dag.num_levels() as usize];
+        for v in dag.nodes().take(limit) {
+            by_level[dag.level(v) as usize].push(v);
+        }
+        for bucket in by_level.iter().filter(|b| b.len() > 1) {
+            let ids: Vec<String> = bucket.iter().map(|v| v.index().to_string()).collect();
+            let _ = writeln!(out, "  {{ rank=same; {} }}", ids.join("; "));
+        }
+    }
+    for (u, v) in dag.edges() {
+        if included(u) && included(v) {
+            let _ = writeln!(out, "  {} -> {};", u.index(), v.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn tiny() -> Dag {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_all_edges() {
+        let d = tiny();
+        let dot = to_dot(&d, &DotOptions::default(), |_| None);
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.starts_with("digraph \"dag\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlights_marked_nodes() {
+        let d = tiny();
+        let dot = to_dot(&d, &DotOptions::default(), |v| {
+            (v == NodeId(1)).then_some("red")
+        });
+        assert!(dot.contains("fillcolor=red"));
+    }
+
+    #[test]
+    fn max_nodes_truncates() {
+        let d = tiny();
+        let opts = DotOptions {
+            max_nodes: Some(2),
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&d, &opts, |_| None);
+        assert!(dot.contains("0 -> 1;"));
+        assert!(!dot.contains("1 -> 2;"));
+    }
+
+    #[test]
+    fn rank_by_level_emits_clusters() {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        let d = b.build().unwrap();
+        let dot = to_dot(&d, &DotOptions::default(), |_| None);
+        assert!(dot.contains("rank=same"));
+    }
+}

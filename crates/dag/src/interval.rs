@@ -1,0 +1,303 @@
+//! Interval-list transitive-closure encoding.
+//!
+//! This is the data structure at the heart of the production LogicBlox
+//! scheduler (paper §II-C), following Agrawal–Borgida–Jagadish \[4\] and
+//! Nuutila \[31\]: a DFS spanning forest assigns each node a postorder
+//! number; each node's descendants within the tree occupy a contiguous
+//! postorder interval; non-tree edges are handled by unioning children's
+//! interval lists in reverse topological order. The ancestor query
+//! "is `d` a descendant of `a`?" becomes "is `post(d)` covered by one of
+//! `a`'s intervals?" — a binary search.
+//!
+//! The encoding is *usually but not always* compact: on adversarial DAGs
+//! the total number of intervals is Θ(V²) (see
+//! `interval_blowup` in `incr-traces::adversarial`, and the `O(V²)` space
+//! worst case cited by the paper).
+
+use crate::graph::{Dag, NodeId};
+
+/// Inclusive postorder interval `[lo, hi]`.
+pub type Interval = (u32, u32);
+
+/// Per-node interval lists over a DFS postorder numbering; answers
+/// descendant queries (equivalently: ancestor queries) after an
+/// `O(V + E + total_intervals · log)` construction.
+#[derive(Clone, Debug)]
+pub struct IntervalList {
+    /// Postorder number of each node, `1..=V`.
+    post: Vec<u32>,
+    /// Sorted, disjoint, non-adjacent intervals per node; each covers the
+    /// postorder numbers of the node's descendants *including itself*.
+    intervals: Vec<Vec<Interval>>,
+}
+
+impl IntervalList {
+    /// Build the structure for `dag`. This is the LogicBlox scheduler's
+    /// preprocessing phase (paper §VI-B).
+    pub fn build(dag: &Dag) -> Self {
+        let n = dag.node_count();
+        let mut post = vec![0u32; n];
+        let mut tree_parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut counter = 0u32;
+
+        // Iterative DFS from each source, assigning postorder numbers and
+        // recording the spanning-forest parent (the node that first
+        // discovered each child).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        for s in dag.sources() {
+            if visited[s.index()] {
+                continue;
+            }
+            visited[s.index()] = true;
+            stack.push((s, 0));
+            while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+                let children = dag.children(u);
+                if *ci < children.len() {
+                    let c = children[*ci];
+                    *ci += 1;
+                    if !visited[c.index()] {
+                        visited[c.index()] = true;
+                        tree_parent[c.index()] = Some(u);
+                        stack.push((c, 0));
+                    }
+                } else {
+                    counter += 1;
+                    post[u.index()] = counter;
+                    stack.pop();
+                }
+            }
+        }
+        debug_assert_eq!(counter as usize, n, "DFS must visit every node");
+
+        // Subtree minima along the spanning forest: low(v) = min postorder
+        // in v's tree subtree, so [low(v), post(v)] covers exactly the tree
+        // descendants of v.
+        let mut low: Vec<u32> = post.clone();
+        // Nodes in increasing postorder finish children-before-parents, so a
+        // single pass propagates subtree minima to tree parents.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| post[i]);
+        for &i in &order {
+            if let Some(p) = tree_parent[i] {
+                if low[i] < low[p.index()] {
+                    low[p.index()] = low[i];
+                }
+            }
+        }
+
+        // Seed each node with its tree interval, then union children's
+        // lists in reverse topological order so every node covers all of
+        // its DAG descendants, not just tree descendants.
+        let mut intervals: Vec<Vec<Interval>> = (0..n).map(|i| vec![(low[i], post[i])]).collect();
+        let topo: Vec<NodeId> = dag.topo_order().to_vec();
+        let mut scratch: Vec<Interval> = Vec::new();
+        for &u in topo.iter().rev() {
+            let children = dag.children(u);
+            if children.is_empty() {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend_from_slice(&intervals[u.index()]);
+            for &c in children {
+                scratch.extend_from_slice(&intervals[c.index()]);
+            }
+            scratch.sort_unstable();
+            let merged = coalesce(&scratch);
+            intervals[u.index()] = merged;
+        }
+
+        IntervalList { post, intervals }
+    }
+
+    /// Postorder number of `v` (stable across queries).
+    #[inline]
+    pub fn postorder(&self, v: NodeId) -> u32 {
+        self.post[v.index()]
+    }
+
+    /// Is `d` a descendant of `a` (or equal to it)? Binary search over
+    /// `a`'s interval list.
+    pub fn is_descendant(&self, a: NodeId, d: NodeId) -> bool {
+        self.is_descendant_counted(a, d).0
+    }
+
+    /// Is `a` a *proper* ancestor of `d`?
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        a != d && self.is_descendant(a, d)
+    }
+
+    /// Like [`is_descendant`](Self::is_descendant) but also returns the
+    /// number of interval comparisons performed, so the LogicBlox
+    /// scheduler can charge its `CostMeter` faithfully.
+    pub fn is_descendant_counted(&self, a: NodeId, d: NodeId) -> (bool, u64) {
+        let key = self.post[d.index()];
+        let list = &self.intervals[a.index()];
+        // Binary search for the interval whose lo <= key, then check hi.
+        let mut lo = 0usize;
+        let mut hi = list.len();
+        let mut probes = 0u64;
+        while lo < hi {
+            probes += 1;
+            let mid = (lo + hi) / 2;
+            if list[mid].0 <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return (false, probes.max(1));
+        }
+        let (_, ihi) = list[lo - 1];
+        (key <= ihi, probes.max(1))
+    }
+
+    /// Interval list of `a` (sorted, disjoint).
+    pub fn intervals_of(&self, a: NodeId) -> &[Interval] {
+        &self.intervals[a.index()]
+    }
+
+    /// Total number of stored intervals — the structure's space consumption
+    /// (the paper's `O(V²)` worst case is in this count).
+    pub fn total_intervals(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate resident size in bytes (intervals + postorder table).
+    pub fn memory_bytes(&self) -> usize {
+        self.total_intervals() * std::mem::size_of::<Interval>()
+            + self.post.len() * std::mem::size_of::<u32>()
+            + self.intervals.len() * std::mem::size_of::<Vec<Interval>>()
+    }
+}
+
+/// Coalesce a sorted interval sequence into disjoint, non-adjacent,
+/// sorted intervals.
+fn coalesce(sorted: &[Interval]) -> Vec<Interval> {
+    let mut out: Vec<Interval> = Vec::with_capacity(sorted.len().min(8));
+    for &(lo, hi) in sorted {
+        match out.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => {
+                if hi > last.1 {
+                    last.1 = hi;
+                }
+            }
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach;
+    use crate::DagBuilder;
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> (Dag, IntervalList) {
+        let mut b = DagBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let d = b.build().unwrap();
+        let il = IntervalList::build(&d);
+        (d, il)
+    }
+
+    fn assert_matches_bfs(d: &Dag, il: &IntervalList) {
+        for a in d.nodes() {
+            let desc = reach::descendants(d, a);
+            for v in d.nodes() {
+                let expect = v == a || desc.contains(v);
+                assert_eq!(
+                    il.is_descendant(a, v),
+                    expect,
+                    "a={a} v={v} intervals={:?} post={:?}",
+                    il.intervals_of(a),
+                    (0..d.node_count()).map(|i| il.post[i]).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain() {
+        let (d, il) = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_matches_bfs(&d, &il);
+        // A chain needs exactly one interval per node.
+        for v in d.nodes() {
+            assert_eq!(il.intervals_of(v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn diamond_with_cross_edges() {
+        let (d, il) = build(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 4)]);
+        assert_matches_bfs(&d, &il);
+    }
+
+    #[test]
+    fn multiple_sources() {
+        let (d, il) = build(5, &[(0, 2), (1, 2), (2, 3), (1, 4)]);
+        assert_matches_bfs(&d, &il);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let (d, il) = build(3, &[]);
+        assert_matches_bfs(&d, &il);
+        assert_eq!(il.total_intervals(), 3);
+    }
+
+    #[test]
+    fn proper_ancestor_excludes_self() {
+        let (_, il) = build(2, &[(0, 1)]);
+        assert!(il.is_ancestor(NodeId(0), NodeId(1)));
+        assert!(!il.is_ancestor(NodeId(0), NodeId(0)));
+        assert!(!il.is_ancestor(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn counted_query_reports_probes() {
+        let (_, il) = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (hit, probes) = il.is_descendant_counted(NodeId(0), NodeId(3));
+        assert!(hit);
+        assert!(probes >= 1);
+    }
+
+    #[test]
+    fn blowup_instance_grows_interval_count() {
+        // Bipartite fragmentation: source 0 points at every sink, pinning
+        // sink postorders consecutively; every other source points only at
+        // even-indexed sinks, whose postorders are then non-adjacent — so
+        // each such source needs Θ(k) singleton intervals, Θ(k²) in total.
+        fn crown(k: u32) -> usize {
+            let mut b = DagBuilder::new((2 * k) as usize);
+            for j in 0..k {
+                b.add_edge(NodeId(0), NodeId(k + j));
+            }
+            for i in 1..k {
+                for j in (0..k).step_by(2) {
+                    b.add_edge(NodeId(i), NodeId(k + j));
+                }
+            }
+            let d = b.build().unwrap();
+            IntervalList::build(&d).total_intervals()
+        }
+        let small = crown(8);
+        let large = crown(16);
+        // Quadratic-ish growth: doubling k should far more than double it.
+        assert!(
+            large as f64 >= 3.0 * small as f64,
+            "small={small} large={large}"
+        );
+    }
+
+    #[test]
+    fn coalesce_merges_overlaps_and_adjacent() {
+        assert_eq!(coalesce(&[(1, 2), (3, 4), (6, 7)]), vec![(1, 4), (6, 7)]);
+        assert_eq!(coalesce(&[(1, 5), (2, 3)]), vec![(1, 5)]);
+        assert_eq!(coalesce(&[]), Vec::<Interval>::new());
+    }
+}

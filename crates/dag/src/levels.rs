@@ -1,0 +1,127 @@
+//! Level computations and per-level groupings.
+//!
+//! The *level* of a node is the maximum number of edges along any path from
+//! any source node to it (paper §II-B). The [`crate::Dag`] caches
+//! levels at build time via longest-path propagation in topological order;
+//! this module provides the paper's alternative *peeling* formulation
+//! (§VI-B: "All nodes with no incoming edges get assigned level ℓ; delete
+//! in-degree-zero nodes, increment ℓ and recurse"), used both as a
+//! cross-check and by tests, plus per-level groupings used by the
+//! LevelBased scheduler's bucket layout and the trace statistics.
+
+use crate::graph::{Dag, NodeId};
+
+/// Compute levels by iterative peeling of indegree-zero nodes, exactly as
+/// the paper describes the LevelBased precomputation (§VI-B). `O(V + E)`.
+///
+/// Equivalent to the longest-path definition: a node's level is the round
+/// in which it becomes indegree-0 after all earlier rounds are removed.
+pub fn peel_levels(dag: &Dag) -> Vec<u32> {
+    let n = dag.node_count();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| dag.in_degree(NodeId(i as u32)) as u32)
+        .collect();
+    let mut levels = vec![0u32; n];
+    let mut frontier: Vec<NodeId> = dag.sources().collect();
+    let mut level = 0u32;
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            levels[u.index()] = level;
+            for &v in dag.children(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    next.push(v);
+                }
+            }
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+        level += 1;
+    }
+    levels
+}
+
+/// Group node ids by level: `result[l]` lists all nodes at level `l`.
+/// This is the bucket layout the LevelBased scheduler walks (paper §III).
+pub fn nodes_by_level(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let mut buckets = vec![Vec::new(); dag.num_levels() as usize];
+    for v in dag.nodes() {
+        buckets[dag.level(v) as usize].push(v);
+    }
+    buckets
+}
+
+/// Maximum level width: `max_l |{v : level(v) = l}|`. Wide-and-shallow DAGs
+/// (large width, few levels, e.g. traces #6 and #11) are where LevelBased
+/// is essentially optimal and the LogicBlox scan is most wasteful
+/// (Table III discussion).
+pub fn max_level_width(dag: &Dag) -> usize {
+    dag.level_histogram().into_iter().max().unwrap_or(0)
+}
+
+/// The lowest level among a set of nodes, or `None` if empty. The
+/// LevelBased readiness rule (Lemma 1) keys off this value for the set of
+/// active unexecuted tasks.
+pub fn min_level(dag: &Dag, nodes: impl IntoIterator<Item = NodeId>) -> Option<u32> {
+    nodes.into_iter().map(|v| dag.level(v)).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn chain_with_shortcut() -> Dag {
+        // 0->1->2->3 plus shortcut 0->3
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn peel_matches_cached_levels() {
+        let d = chain_with_shortcut();
+        assert_eq!(peel_levels(&d), d.levels());
+    }
+
+    #[test]
+    fn buckets_partition_nodes() {
+        let d = chain_with_shortcut();
+        let buckets = nodes_by_level(&d);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, d.node_count());
+        for (l, bucket) in buckets.iter().enumerate() {
+            for &v in bucket {
+                assert_eq!(d.level(v) as usize, l);
+            }
+        }
+    }
+
+    #[test]
+    fn width_of_diamond() {
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let d = b.build().unwrap();
+        assert_eq!(max_level_width(&d), 2);
+    }
+
+    #[test]
+    fn min_level_of_set() {
+        let d = chain_with_shortcut();
+        assert_eq!(min_level(&d, [NodeId(3), NodeId(1)]), Some(1));
+        assert_eq!(min_level(&d, []), None);
+    }
+
+    #[test]
+    fn level_strictly_increases_along_edges() {
+        let d = chain_with_shortcut();
+        for (u, v) in d.edges() {
+            assert!(d.level(u) < d.level(v));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Crate-wide property tests tying the independent implementations
+//! together: interval lists vs BFS reachability, cached levels vs peeling,
+//! and structural invariants over random DAGs.
+
+use crate::{interval::IntervalList, levels, random, reach, Dag, NodeId};
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    // Mix the two generators to cover both shallow-random and layered shapes.
+    prop_oneof![
+        (2usize..40, 0.0f64..0.5, any::<u64>())
+            .prop_map(|(n, p, seed)| random::gnp_ordered(n, p, seed)),
+        (1u32..8, 1u32..8, 0u32..4, any::<u64>()).prop_map(|(layers, width, max_in, seed)| {
+            random::layered(random::LayeredParams {
+                layers,
+                width,
+                max_in,
+                back_span: 3,
+                seed,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_list_equals_bfs_reachability(dag in arb_dag()) {
+        let il = IntervalList::build(&dag);
+        for a in dag.nodes() {
+            let desc = reach::descendants(&dag, a);
+            for v in dag.nodes() {
+                let expect = v == a || desc.contains(v);
+                prop_assert_eq!(il.is_descendant(a, v), expect,
+                    "a={} v={}", a, v);
+            }
+        }
+    }
+
+    #[test]
+    fn peel_levels_equal_cached_levels(dag in arb_dag()) {
+        prop_assert_eq!(levels::peel_levels(&dag), dag.levels().to_vec());
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_edges(dag in arb_dag()) {
+        for (u, v) in dag.edges() {
+            prop_assert!(dag.level(u) < dag.level(v));
+        }
+    }
+
+    #[test]
+    fn topo_order_is_a_permutation_respecting_edges(dag in arb_dag()) {
+        let topo = dag.topo_order();
+        prop_assert_eq!(topo.len(), dag.node_count());
+        let mut pos = vec![usize::MAX; dag.node_count()];
+        for (i, &v) in topo.iter().enumerate() {
+            prop_assert_eq!(pos[v.index()], usize::MAX, "duplicate in topo order");
+            pos[v.index()] = i;
+        }
+        for (u, v) in dag.edges() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    #[test]
+    fn ancestor_query_symmetry(dag in arb_dag()) {
+        // reach::is_ancestor(a, d) must equal membership of a in ancestors(d)
+        // and membership of d in descendants(a).
+        for a in dag.nodes() {
+            let desc = reach::descendants(&dag, a);
+            for d in dag.nodes() {
+                let fwd = a != d && desc.contains(d);
+                prop_assert_eq!(reach::is_ancestor(&dag, a, d), fwd);
+                prop_assert_eq!(reach::ancestors(&dag, d).contains(a), fwd);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_lists_are_sorted_disjoint(dag in arb_dag()) {
+        let il = IntervalList::build(&dag);
+        for v in dag.nodes() {
+            let ivs = il.intervals_of(v);
+            for w in ivs.windows(2) {
+                // Strictly separated (non-adjacent after coalescing).
+                prop_assert!(w[0].1 + 1 < w[1].0, "{:?}", ivs);
+            }
+            for &(lo, hi) in ivs {
+                prop_assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_census_is_consistent(dag in arb_dag()) {
+        let roots: Vec<NodeId> = dag.sources().collect();
+        let all: reach::NodeSet = dag.nodes().collect();
+        let c = reach::descendant_census(&dag, roots.iter().copied(), &all);
+        // With everything "activated", the two counts coincide.
+        prop_assert_eq!(c.total_descendants, c.activated_descendants);
+    }
+}

@@ -1,0 +1,41 @@
+//! # incr-datalog — a from-scratch Datalog engine with incremental
+//! maintenance
+//!
+//! The substrate the paper's scheduling problem comes from: Datalog
+//! programs whose materializations must be kept consistent as base data
+//! changes (§I). This crate implements the full pipeline:
+//!
+//! * [`ast`] / [`parser`] — rules, atoms, terms; a hand-written
+//!   recursive-descent parser for conventional Datalog syntax.
+//! * [`value`] — the constant domain (interned symbols + integers).
+//! * [`query`](mod@query) — pattern queries against the materialization.
+//! * [`rel`] — relation storage with tuple indices.
+//! * [`stratify`] — predicate dependency graph, Tarjan SCCs, and
+//!   negation-safe stratification.
+//! * [`eval`] — naive and semi-naive bottom-up evaluation, plus grouped
+//!   aggregate evaluation (`count`/`sum`/`min`/`max` heads).
+//! * [`incr`] — incremental maintenance: delta-driven insertion and
+//!   delete-rederive (DRed) deletion.
+//! * [`taskgraph`] — the bridge to the paper: compile a program into the
+//!   scheduling DAG whose nodes are predicate evaluations, and drive any
+//!   [`incr_sched::Scheduler`] with *real* data-dependent activations
+//!   ("just because an input to a predicate changes does not mean that
+//!   the predicate's output changes", §II-A).
+
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod incr;
+pub mod parser;
+pub mod query;
+pub mod rel;
+pub mod stratify;
+pub mod taskgraph;
+pub mod value;
+
+pub use ast::{Atom, Literal, Program, Rule, Term};
+pub use engine::{FactEdit, IncrementalEngine, UpdateReport};
+pub use parser::parse_program;
+pub use query::{parse_pattern, query, Pat};
+pub use rel::{Database, Relation};
+pub use value::{Tuple, Value};

@@ -1,0 +1,275 @@
+//! Relation storage and the database of predicates.
+
+use crate::value::{Interner, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Dense predicate handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of tuples of fixed arity, with a persistent index on the first
+/// column (joins in rule bodies overwhelmingly bind the first position;
+/// the evaluator probes the index instead of scanning the extent).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Tuple>,
+    /// First-column index; empty for arity-0 relations.
+    by_first: HashMap<Value, HashSet<Tuple>>,
+}
+
+impl Relation {
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: HashSet::new(),
+            by_first: HashMap::new(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Insert; true if new. Panics on arity mismatch (an engine bug, not
+    /// a data error — arities are validated at parse time).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "arity mismatch on insert");
+        if let Some(&first) = t.first() {
+            if self.tuples.insert(t.clone()) {
+                self.by_first.entry(first).or_default().insert(t);
+                return true;
+            }
+            return false;
+        }
+        self.tuples.insert(t)
+    }
+
+    /// Remove; true if present.
+    pub fn remove(&mut self, t: &[Value]) -> bool {
+        let removed = self.tuples.remove(t);
+        if removed {
+            if let Some(&first) = t.first() {
+                if let Some(bucket) = self.by_first.get_mut(&first) {
+                    bucket.remove(t);
+                    if bucket.is_empty() {
+                        self.by_first.remove(&first);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Tuples whose first column equals `v` (index probe).
+    pub fn iter_first(&self, v: Value) -> impl Iterator<Item = &Tuple> + '_ {
+        self.by_first.get(&v).into_iter().flatten()
+    }
+
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Tuples in sorted order (deterministic output for tests/display).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let staged: Vec<Tuple> = iter.into_iter().collect();
+        let arity = staged.first().map_or(0, Vec::len);
+        let mut rel = Relation::new(arity);
+        for t in staged {
+            assert_eq!(t.len(), arity, "mixed arities in relation literal");
+            rel.insert(t);
+        }
+        rel
+    }
+}
+
+/// All predicates and their extents, plus the symbol interner.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    pub interner: Interner,
+    ids: HashMap<String, PredId>,
+    names: Vec<String>,
+    rels: Vec<Relation>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or fetch) a predicate with the given arity.
+    pub fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        if let Some(&id) = self.ids.get(name) {
+            assert_eq!(
+                self.rels[id.index()].arity(),
+                arity,
+                "predicate {name} arity mismatch"
+            );
+            return id;
+        }
+        let id = PredId(self.names.len() as u32);
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        self.rels.push(Relation::new(arity));
+        id
+    }
+
+    /// Fetch a registered predicate id.
+    pub fn pred_id(&self, name: &str) -> Option<PredId> {
+        self.ids.get(name).copied()
+    }
+
+    pub fn pred_name(&self, id: PredId) -> &str {
+        &self.names[id.index()]
+    }
+
+    pub fn pred_count(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn rel(&self, id: PredId) -> &Relation {
+        &self.rels[id.index()]
+    }
+
+    pub fn rel_mut(&mut self, id: PredId) -> &mut Relation {
+        &mut self.rels[id.index()]
+    }
+
+    /// Intern a symbolic constant.
+    pub fn sym(&mut self, s: &str) -> Value {
+        Value::Sym(self.interner.intern(s))
+    }
+
+    /// Convenience: insert a fact given symbol texts.
+    pub fn insert_fact(&mut self, pred: &str, args: &[&str]) -> bool {
+        let tuple: Tuple = args.iter().map(|a| self.sym(a)).collect();
+        let id = self.pred(pred, args.len());
+        self.rels[id.index()].insert(tuple)
+    }
+
+    /// Convenience: check a fact given symbol texts (false if any symbol
+    /// or the predicate is unknown).
+    pub fn has_fact(&self, pred: &str, args: &[&str]) -> bool {
+        let Some(id) = self.pred_id(pred) else {
+            return false;
+        };
+        let mut tuple = Tuple::with_capacity(args.len());
+        for a in args {
+            match self.interner.get(a) {
+                Some(s) => tuple.push(Value::Sym(s)),
+                None => return false,
+            }
+        }
+        self.rel(id).contains(&tuple)
+    }
+
+    /// Total tuples across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_set_semantics() {
+        let mut r = Relation::new(2);
+        let t = vec![Value::Int(1), Value::Int(2)];
+        assert!(r.insert(t.clone()));
+        assert!(!r.insert(t.clone()));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&t));
+        assert!(r.remove(&t));
+        assert!(!r.remove(&t));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn database_registers_and_reuses_preds() {
+        let mut db = Database::new();
+        let p1 = db.pred("edge", 2);
+        let p2 = db.pred("edge", 2);
+        assert_eq!(p1, p2);
+        assert_eq!(db.pred_name(p1), "edge");
+        assert_eq!(db.pred_count(), 1);
+    }
+
+    #[test]
+    fn fact_roundtrip() {
+        let mut db = Database::new();
+        assert!(db.insert_fact("edge", &["a", "b"]));
+        assert!(!db.insert_fact("edge", &["a", "b"]));
+        assert!(db.has_fact("edge", &["a", "b"]));
+        assert!(!db.has_fact("edge", &["b", "a"]));
+        assert!(!db.has_fact("nope", &["a"]));
+        assert!(!db.has_fact("edge", &["a", "unseen"]));
+        assert_eq!(db.total_facts(), 1);
+    }
+
+    #[test]
+    fn first_column_index_tracks_mutations() {
+        let mut r = Relation::new(2);
+        let a = Value::Int(1);
+        r.insert(vec![a, Value::Int(10)]);
+        r.insert(vec![a, Value::Int(11)]);
+        r.insert(vec![Value::Int(2), Value::Int(20)]);
+        assert_eq!(r.iter_first(a).count(), 2);
+        assert_eq!(r.iter_first(Value::Int(2)).count(), 1);
+        assert_eq!(r.iter_first(Value::Int(9)).count(), 0);
+        assert!(r.remove(&[a, Value::Int(10)]));
+        assert_eq!(r.iter_first(a).count(), 1);
+        assert!(r.remove(&[a, Value::Int(11)]));
+        assert_eq!(r.iter_first(a).count(), 0);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(1);
+        r.insert(vec![Value::Int(3)]);
+        r.insert(vec![Value::Int(1)]);
+        r.insert(vec![Value::Int(2)]);
+        assert_eq!(
+            r.sorted(),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # incr-runtime — a real multi-threaded executor for the schedulers
+//!
+//! The simulators in `incr-sim` replay traces; this crate *actually runs*
+//! tasks. A pool of worker threads executes user closures per DAG node
+//! while a scheduler (any [`incr_sched::Scheduler`]) decides dispatch
+//! order under the paper's safety rule. The Datalog engine uses this to
+//! re-derive predicates after base-data updates; the examples use it to
+//! demonstrate the hybrid's shared ready supply on real threads.
+//!
+//! * [`executor`] — the dispatch loop: scheduler behind a mutex, workers
+//!   fed through crossbeam channels, completions reported back with the
+//!   fired-edge sets the task functions compute.
+
+pub mod executor;
+
+pub use executor::{ExecReport, Executor, TaskFn, TaskOutcome};

@@ -1,0 +1,341 @@
+//! Unit-step simulation of the paper's DAG model of computation (§IV).
+//!
+//! Every task is a DAG `D_u` of unit subtasks summarized by a
+//! [`TaskShape`]: total work `w_u` split into `span` sequential stages,
+//! each stage with a width cap. At each time step the `P` processors
+//! greedily execute up to `P` available unit subtasks across the running
+//! tasks (the list-scheduling discipline the Lemma 3/5/7 proofs assume).
+//! Task durations in seconds are ignored here; the makespan is measured in
+//! unit steps, matching the `w/P + L` style bounds exactly.
+
+use incr_sched::{Instance, SafetyChecker, Scheduler, TaskShape};
+use std::collections::VecDeque;
+
+/// Configuration for a step-simulation run.
+#[derive(Clone, Debug)]
+pub struct StepSimConfig {
+    /// Number of processors `P`.
+    pub processors: usize,
+    /// Audit pops against ground-truth reachability.
+    pub audit: bool,
+}
+
+impl Default for StepSimConfig {
+    fn default() -> Self {
+        StepSimConfig {
+            processors: 8,
+            audit: false,
+        }
+    }
+}
+
+/// Outcome of a step-simulation run.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Makespan in unit time steps.
+    pub makespan: u64,
+    /// Tasks executed (must equal `|W|`).
+    pub executed: usize,
+    /// Unit subtasks executed (= total active work).
+    pub work_done: u64,
+    /// Steps during which at least one processor idled while work ran.
+    pub idle_steps: u64,
+}
+
+/// Execution state of one running task.
+struct Running {
+    node: incr_dag::NodeId,
+    /// Remaining sequential stages after the current one.
+    stages_left: u32,
+    /// Units left in the current stage.
+    stage_remaining: u32,
+    /// Width cap of each stage.
+    stage_width: u32,
+    /// Units left in total (to distribute across remaining stages).
+    total_remaining: u64,
+}
+
+impl Running {
+    fn new(node: incr_dag::NodeId, shape: TaskShape) -> Self {
+        let (stages, width, total) = match shape {
+            TaskShape::Unit => (1u32, 1u32, 1u64),
+            TaskShape::Parallel { work } => (1, work.max(1), work.max(1) as u64),
+            TaskShape::Chain { len } => (len.max(1), 1, len.max(1) as u64),
+            TaskShape::WorkSpan { work, span } => {
+                let span = span.max(1).min(work.max(1));
+                let width = work.max(1).div_ceil(span);
+                (span, width, work.max(1) as u64)
+            }
+        };
+        let first_stage = stage_units(total, stages, width);
+        Running {
+            node,
+            stages_left: stages - 1,
+            stage_remaining: first_stage,
+            stage_width: width,
+            total_remaining: total,
+        }
+    }
+
+    /// Units this task can absorb this step.
+    fn available(&self) -> u32 {
+        self.stage_remaining.min(self.stage_width)
+    }
+
+    /// Consume `units`; returns true when the whole task is done.
+    fn advance(&mut self, units: u32) -> bool {
+        debug_assert!(units <= self.available());
+        self.stage_remaining -= units;
+        self.total_remaining -= units as u64;
+        while self.stage_remaining == 0 {
+            if self.stages_left == 0 {
+                debug_assert_eq!(self.total_remaining, 0);
+                return true;
+            }
+            self.stage_remaining = stage_units(
+                self.total_remaining,
+                self.stages_left,
+                self.stage_width,
+            );
+            self.stages_left -= 1;
+        }
+        false
+    }
+}
+
+/// Units allotted to the next stage: spread `total` over `stages`
+/// remaining stages without exceeding `width` per stage, front-loaded.
+fn stage_units(total: u64, stages: u32, width: u32) -> u32 {
+    debug_assert!(stages >= 1);
+    let per = total.div_ceil(stages as u64);
+    per.min(width as u64).max(1) as u32
+}
+
+/// Run `scheduler` over `instance` at unit-subtask granularity.
+pub fn simulate_step(
+    scheduler: &mut dyn Scheduler,
+    instance: &Instance,
+    cfg: &StepSimConfig,
+) -> StepResult {
+    debug_assert!(instance.validate().is_ok());
+    assert!(cfg.processors >= 1);
+    let p = cfg.processors as u32;
+
+    let mut audit = cfg.audit.then(|| SafetyChecker::new(instance.dag.clone()));
+    scheduler.start(&instance.initial_active);
+    if let Some(a) = audit.as_mut() {
+        a.on_start(&instance.initial_active);
+    }
+
+    let mut running: VecDeque<Running> = VecDeque::new();
+    let mut time = 0u64;
+    let mut executed = 0usize;
+    let mut work_done = 0u64;
+    let mut idle_steps = 0u64;
+
+    loop {
+        // Admit ready tasks while spare capacity could exist this step.
+        loop {
+            let avail: u32 = running.iter().map(Running::available).sum();
+            if avail >= p {
+                break;
+            }
+            match scheduler.pop_ready() {
+                Some(t) => {
+                    if let Some(a) = audit.as_mut() {
+                        a.on_pop(t);
+                    }
+                    running.push_back(Running::new(t, instance.shapes[t.index()]));
+                }
+                None => break,
+            }
+        }
+
+        if running.is_empty() {
+            assert!(
+                scheduler.is_quiescent(),
+                "{} stalled in step simulation",
+                scheduler.name()
+            );
+            break;
+        }
+
+        // One time step: hand out up to P units greedily, FIFO.
+        let mut budget = p;
+        let mut finished: Vec<incr_dag::NodeId> = Vec::new();
+        for task in running.iter_mut() {
+            if budget == 0 {
+                break;
+            }
+            let units = task.available().min(budget);
+            if units == 0 {
+                continue;
+            }
+            budget -= units;
+            work_done += units as u64;
+            if task.advance(units) {
+                finished.push(task.node);
+            }
+        }
+        if budget > 0 {
+            idle_steps += 1;
+        }
+        time += 1;
+
+        running.retain(|t| !finished.contains(&t.node));
+        for t in finished {
+            executed += 1;
+            let fired = &instance.fired[t.index()];
+            scheduler.on_completed(t, fired);
+            if let Some(a) = audit.as_mut() {
+                a.on_complete(t, fired);
+            }
+        }
+    }
+
+    if let Some(a) = audit.as_mut() {
+        a.on_finish();
+    }
+
+    StepResult {
+        makespan: time,
+        executed,
+        work_done,
+        idle_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::{random, DagBuilder, NodeId};
+    use incr_sched::{LevelBased, SchedulerKind};
+    use std::sync::Arc;
+
+    fn cfg(p: usize) -> StepSimConfig {
+        StepSimConfig {
+            processors: p,
+            audit: true,
+        }
+    }
+
+    #[test]
+    fn unit_chain_takes_length_steps() {
+        let dag = Arc::new(random::chain(5));
+        let mut inst = Instance::unit(dag.clone(), vec![NodeId(0)]);
+        for i in 0..4usize {
+            inst.fired[i] = vec![NodeId(i as u32 + 1)];
+        }
+        let mut s = LevelBased::new(dag);
+        let r = simulate_step(&mut s, &inst, &cfg(4));
+        assert_eq!(r.makespan, 5);
+        assert_eq!(r.executed, 5);
+        assert_eq!(r.work_done, 5);
+    }
+
+    #[test]
+    fn parallel_task_uses_all_processors() {
+        let dag = Arc::new(random::chain(1));
+        let mut inst = Instance::unit(dag.clone(), vec![NodeId(0)]);
+        inst.shapes[0] = TaskShape::Parallel { work: 12 };
+        let mut s = LevelBased::new(dag);
+        let r = simulate_step(&mut s, &inst, &cfg(4));
+        assert_eq!(r.makespan, 3, "12 units / 4 processors");
+    }
+
+    #[test]
+    fn chain_task_is_sequential() {
+        let dag = Arc::new(random::chain(1));
+        let mut inst = Instance::unit(dag.clone(), vec![NodeId(0)]);
+        inst.shapes[0] = TaskShape::Chain { len: 7 };
+        let mut s = LevelBased::new(dag);
+        let r = simulate_step(&mut s, &inst, &cfg(8));
+        assert_eq!(r.makespan, 7, "no internal parallelism");
+    }
+
+    #[test]
+    fn workspan_respects_both_limits() {
+        let dag = Arc::new(random::chain(1));
+        let mut inst = Instance::unit(dag.clone(), vec![NodeId(0)]);
+        // 12 units over 3 stages of width 4.
+        inst.shapes[0] = TaskShape::WorkSpan { work: 12, span: 3 };
+        let mut s = LevelBased::new(dag.clone());
+        // Plenty of processors: bounded by span.
+        let r = simulate_step(&mut s, &inst, &cfg(16));
+        assert_eq!(r.makespan, 3);
+        // Two processors: bounded by work/P.
+        let mut s = LevelBased::new(dag);
+        let r = simulate_step(&mut s, &inst, &cfg(2));
+        assert_eq!(r.makespan, 6);
+    }
+
+    /// Lemma 3: unit tasks, makespan <= w/P + L.
+    #[test]
+    fn lemma3_bound_on_random_dags() {
+        for seed in 0..10u64 {
+            let dag = Arc::new(random::layered(random::LayeredParams {
+                layers: 6,
+                width: 7,
+                max_in: 3,
+                back_span: 2,
+                seed,
+            }));
+            let mut inst = Instance::unit(dag.clone(), dag.sources().collect());
+            for v in dag.nodes() {
+                inst.fired[v.index()] = dag.children(v).to_vec();
+            }
+            let w = inst.active_work_units();
+            let l = dag.num_levels() as u64;
+            for p in [1usize, 2, 4, 8] {
+                let mut s = LevelBased::new(dag.clone());
+                let r = simulate_step(&mut s, &inst, &cfg(p));
+                let bound = w.div_ceil(p as u64) + l;
+                assert!(
+                    r.makespan <= bound,
+                    "seed {seed} P={p}: makespan {} > bound {}",
+                    r.makespan,
+                    bound
+                );
+            }
+        }
+    }
+
+    /// Every scheduler kind agrees on the executed set in step mode.
+    #[test]
+    fn schedulers_agree_in_step_mode() {
+        let dag = Arc::new(random::gnp_ordered(20, 0.2, 99));
+        let mut inst = Instance::unit(dag.clone(), dag.sources().take(2).collect());
+        for v in dag.nodes() {
+            inst.fired[v.index()] = dag
+                .children(v)
+                .iter()
+                .copied()
+                .filter(|c| c.0 % 3 != 0)
+                .collect();
+        }
+        let expect = inst.active_count();
+        for kind in [
+            SchedulerKind::LevelBased,
+            SchedulerKind::Lookahead(5),
+            SchedulerKind::LogicBlox,
+            SchedulerKind::SignalPropagation,
+            SchedulerKind::Hybrid,
+            SchedulerKind::ExactGreedy,
+        ] {
+            let mut s = kind.build(inst.dag.clone());
+            let r = simulate_step(s.as_mut(), &inst, &cfg(3));
+            assert_eq!(r.executed, expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_initial_set_finishes_at_time_zero() {
+        let dag = Arc::new(random::chain(3));
+        let inst = Instance::unit(dag.clone(), vec![]);
+        let mut b = DagBuilder::new(0);
+        let _ = &mut b;
+        let mut s = LevelBased::new(dag);
+        let r = simulate_step(&mut s, &inst, &cfg(2));
+        assert_eq!(r.makespan, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Schedule timelines: record per-task dispatch/finish times during an
+//! event simulation and export them as CSV or a self-contained Gantt SVG.
+//!
+//! The paper's Figure 2 argument is about *where processors idle*; a
+//! timeline makes that visible: under LevelBased the lanes drain at every
+//! level boundary, under exact-readiness schedulers the long `k_i` tasks
+//! overlap. `cargo run -p incr-bench --bin schedviz` renders the
+//! comparison.
+
+use incr_sched::{CostPrices, Instance, Scheduler};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+
+/// One executed task's placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    pub node: incr_dag::NodeId,
+    pub lane: usize,
+    pub start: f64,
+    pub finish: f64,
+    /// DAG level of the node (coloring key).
+    pub level: u32,
+}
+
+/// A recorded schedule.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    pub spans: Vec<Span>,
+    pub makespan: f64,
+    pub lanes: usize,
+}
+
+impl Timeline {
+    /// CSV rows: `node,lane,start,finish,level`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("node,lane,start,finish,level\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{:.9},{:.9},{}",
+                s.node, s.lane, s.start, s.finish, s.level
+            );
+        }
+        out
+    }
+
+    /// Self-contained Gantt SVG (one horizontal lane per processor, tasks
+    /// colored by DAG level).
+    pub fn to_svg(&self, title: &str) -> String {
+        let width = 960.0f64;
+        let lane_h = 26.0f64;
+        let top = 40.0f64;
+        let height = top + self.lanes as f64 * lane_h + 20.0;
+        let scale = if self.makespan > 0.0 {
+            (width - 120.0) / self.makespan
+        } else {
+            1.0
+        };
+        let x = |t: f64| 60.0 + t * scale;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="12">"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="10" y="20">{title} — makespan {:.3}</text>"#,
+            self.makespan
+        );
+        for lane in 0..self.lanes {
+            let y = top + lane as f64 * lane_h;
+            let _ = writeln!(
+                out,
+                r##"<text x="10" y="{:.1}">P{lane}</text><line x1="60" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ccc"/>"##,
+                y + lane_h * 0.7,
+                y + lane_h - 2.0,
+                x(self.makespan),
+                y + lane_h - 2.0
+            );
+        }
+        for s in &self.spans {
+            let y = top + s.lane as f64 * lane_h + 2.0;
+            let w = ((s.finish - s.start) * scale).max(1.0);
+            // Level -> hue: cycle through a categorical wheel.
+            let hue = (s.level as f64 * 47.0) % 360.0;
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.1}" fill="hsl({hue:.0},65%,60%)" stroke="#333" stroke-width="0.5"><title>task {} level {} [{:.3}, {:.3}]</title></rect>"##,
+                x(s.start),
+                y,
+                w,
+                lane_h - 6.0,
+                s.node,
+                s.level,
+                s.start,
+                s.finish
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+struct Completion {
+    time: f64,
+    node: incr_dag::NodeId,
+    lane: usize,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.node == other.node
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Event-simulate like [`crate::simulate_event`] but record the schedule.
+/// Scheduler overhead is priced exactly the same way; the returned spans
+/// include the overhead-induced dispatch delays.
+pub fn record_timeline(
+    scheduler: &mut dyn Scheduler,
+    instance: &Instance,
+    processors: usize,
+    prices: &CostPrices,
+) -> Timeline {
+    assert!(processors >= 1);
+    let mut sched_clock = 0.0f64;
+    let mut now = 0.0f64;
+    let mut free_lanes: Vec<usize> = (0..processors).rev().collect();
+    let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut spans = Vec::new();
+    let mut makespan = 0.0f64;
+
+    let mut last_cost = 0.0f64;
+    let charge = |s: &mut dyn Scheduler, now: f64, clock: &mut f64, last: &mut f64| {
+        let c = s.cost().weighted(prices);
+        if *clock < now {
+            *clock = now;
+        }
+        *clock += (c - *last).max(0.0);
+        *last = c;
+    };
+
+    scheduler.start(&instance.initial_active);
+    charge(scheduler, now, &mut sched_clock, &mut last_cost);
+    loop {
+        while let Some(&lane) = free_lanes.last() {
+            let popped = scheduler.pop_ready();
+            charge(scheduler, now, &mut sched_clock, &mut last_cost);
+            let Some(t) = popped else { break };
+            free_lanes.pop();
+            let start = now.max(sched_clock);
+            let finish = start + instance.durations[t.index()];
+            makespan = makespan.max(finish);
+            spans.push(Span {
+                node: t,
+                lane,
+                start,
+                finish,
+                level: instance.dag.level(t),
+            });
+            heap.push(Completion {
+                time: finish,
+                node: t,
+                lane,
+            });
+        }
+        let Some(c) = heap.pop() else {
+            assert!(scheduler.is_quiescent(), "stall while recording timeline");
+            break;
+        };
+        now = c.time;
+        free_lanes.push(c.lane);
+        scheduler.on_completed(c.node, &instance.fired[c.node.index()]);
+        charge(scheduler, now, &mut sched_clock, &mut last_cost);
+    }
+
+    Timeline {
+        spans,
+        makespan,
+        lanes: processors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{simulate_event, EventSimConfig};
+    use incr_dag::{DagBuilder, NodeId};
+    use incr_sched::LevelBased;
+    use std::sync::Arc;
+
+    fn two_chains() -> Instance {
+        let mut b = DagBuilder::new(6);
+        for (u, v) in [(0, 2), (2, 4), (1, 3), (3, 5)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let dag = Arc::new(b.build().unwrap());
+        let mut inst = Instance::unit(dag, vec![NodeId(0), NodeId(1)]);
+        for v in 0..4u32 {
+            inst.fired[v as usize] = vec![NodeId(v + 2)];
+        }
+        inst
+    }
+
+    #[test]
+    fn timeline_matches_simulator_makespan() {
+        let inst = two_chains();
+        let prices = CostPrices::free();
+        let mut s1 = LevelBased::new(inst.dag.clone());
+        let r = simulate_event(
+            &mut s1,
+            &inst,
+            &EventSimConfig {
+                processors: 2,
+                prices,
+                audit: false,
+                space_budget: None,
+            },
+        );
+        let mut s2 = LevelBased::new(inst.dag.clone());
+        let t = record_timeline(&mut s2, &inst, 2, &prices);
+        assert_eq!(t.spans.len(), 6);
+        assert!((t.makespan - r.makespan).abs() < 1e-9);
+        assert_eq!(t.lanes, 2);
+    }
+
+    #[test]
+    fn spans_never_overlap_within_a_lane() {
+        let inst = two_chains();
+        let mut s = LevelBased::new(inst.dag.clone());
+        let t = record_timeline(&mut s, &inst, 3, &CostPrices::default());
+        for lane in 0..t.lanes {
+            let mut lane_spans: Vec<&Span> = t.spans.iter().filter(|s| s.lane == lane).collect();
+            lane_spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in lane_spans.windows(2) {
+                assert!(
+                    w[0].finish <= w[1].start + 1e-12,
+                    "overlap in lane {lane}: {:?} vs {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csv_and_svg_render() {
+        let inst = two_chains();
+        let mut s = LevelBased::new(inst.dag.clone());
+        let t = record_timeline(&mut s, &inst, 2, &CostPrices::free());
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 7, "header + 6 spans");
+        assert!(csv.starts_with("node,lane,start,finish,level"));
+        let svg = t.to_svg("test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.matches("<rect").count() == 6);
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn dispatch_respects_precedence() {
+        let inst = two_chains();
+        let mut s = LevelBased::new(inst.dag.clone());
+        let t = record_timeline(&mut s, &inst, 4, &CostPrices::free());
+        let span_of = |n: u32| t.spans.iter().find(|s| s.node == NodeId(n)).unwrap();
+        for (parent, child) in [(0u32, 2u32), (2, 4), (1, 3), (3, 5)] {
+            assert!(
+                span_of(parent).finish <= span_of(child).start + 1e-12,
+                "{parent} must finish before {child} starts"
+            );
+        }
+    }
+}

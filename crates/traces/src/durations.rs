@@ -1,0 +1,120 @@
+//! Heavy-tailed task durations.
+//!
+//! Production task times are strongly skewed (most predicates re-evaluate
+//! in microseconds; a few fix-point computations dominate). We model them
+//! as log-normal: `exp(mu + sigma * Z)`. The generator chooses `mu` so
+//! the mean matches the per-trace calibration target and `sigma` sets the
+//! straggler weight — the knob behind the LevelBased barrier penalty
+//! observed in Table II.
+
+use rand::Rng;
+
+/// Log-normal duration model.
+#[derive(Clone, Copy, Debug)]
+pub struct DurationModel {
+    /// Mean duration in seconds (of the distribution, not the median).
+    pub mean: f64,
+    /// Log-space standard deviation (0 = deterministic durations).
+    pub sigma: f64,
+}
+
+impl DurationModel {
+    /// Model with the given mean and skew.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0 && sigma >= 0.0);
+        DurationModel { mean, sigma }
+    }
+
+    /// `mu` in log space such that `E[exp(mu + sigma Z)] = mean`.
+    fn mu(&self) -> f64 {
+        self.mean.ln() - self.sigma * self.sigma / 2.0
+    }
+
+    /// Sample one duration.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mean;
+        }
+        let z = standard_normal(rng);
+        (self.mu() + self.sigma * z).exp()
+    }
+
+    /// Sample `n` durations.
+    pub fn sample_vec(&self, rng: &mut impl Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate ships only uniform
+/// sources in our offline set; `rand_distr` is not vendored).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_is_calibrated() {
+        let m = DurationModel::new(2.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let avg: f64 = (0..n).map(|_| m.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (avg - 2.0).abs() < 0.08,
+            "sample mean {avg} far from target 2.0"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let m = DurationModel::new(0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample(&mut rng), 0.5);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let m = DurationModel::new(1e-6, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in m.sample_vec(&mut rng, 10_000) {
+            assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_sigma_means_heavier_tail() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let light = DurationModel::new(1.0, 0.3);
+        let heavy = DurationModel::new(1.0, 1.8);
+        let max_light = light
+            .sample_vec(&mut rng, 20_000)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        let max_heavy = heavy
+            .sample_vec(&mut rng, 20_000)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(max_heavy > 3.0 * max_light);
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

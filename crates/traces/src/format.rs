@@ -1,0 +1,228 @@
+//! Versioned JSON trace files — the stand-in for the paper's proprietary
+//! job-trace format.
+//!
+//! "The traces contain information about the structure of the scheduling
+//! DAG, supplemented by information about each task, such as the task
+//! processing time" (§VI-A). A [`JobTrace`] carries exactly that: the edge
+//! list, per-task durations (microseconds, for lossless round-tripping)
+//! and shapes, the initially-dirty tasks, and the fired-edge lists that
+//! replay the activation behaviour.
+
+use incr_dag::{Dag, DagBuilder, NodeId};
+use incr_sched::{Instance, TaskShape};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Current format version; bump on incompatible schema changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serializable task shape (mirror of [`TaskShape`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ShapeSpec {
+    Unit,
+    Parallel { work: u32 },
+    Chain { len: u32 },
+    WorkSpan { work: u32, span: u32 },
+}
+
+impl From<TaskShape> for ShapeSpec {
+    fn from(s: TaskShape) -> Self {
+        match s {
+            TaskShape::Unit => ShapeSpec::Unit,
+            TaskShape::Parallel { work } => ShapeSpec::Parallel { work },
+            TaskShape::Chain { len } => ShapeSpec::Chain { len },
+            TaskShape::WorkSpan { work, span } => ShapeSpec::WorkSpan { work, span },
+        }
+    }
+}
+
+impl From<ShapeSpec> for TaskShape {
+    fn from(s: ShapeSpec) -> Self {
+        match s {
+            ShapeSpec::Unit => TaskShape::Unit,
+            ShapeSpec::Parallel { work } => TaskShape::Parallel { work },
+            ShapeSpec::Chain { len } => TaskShape::Chain { len },
+            ShapeSpec::WorkSpan { work, span } => TaskShape::WorkSpan { work, span },
+        }
+    }
+}
+
+/// A complete, serializable job trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobTrace {
+    pub version: u32,
+    pub name: String,
+    pub node_count: u32,
+    /// Edge list `(u, v)`.
+    pub edges: Vec<(u32, u32)>,
+    /// Per-task processing time in microseconds.
+    pub durations_us: Vec<u64>,
+    /// Per-task internal shape (omitted entries default to `Unit`).
+    pub shapes: Vec<ShapeSpec>,
+    /// Initially-dirty tasks.
+    pub initial: Vec<u32>,
+    /// `fired[v]` = children activated when `v` executes.
+    pub fired: Vec<Vec<u32>>,
+}
+
+/// Errors loading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    Json(serde_json::Error),
+    Version { found: u32, expected: u32 },
+    Graph(incr_dag::DagError),
+    Shape(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::Version { found, expected } => {
+                write!(f, "trace format version {found}, expected {expected}")
+            }
+            TraceError::Graph(e) => write!(f, "trace graph invalid: {e}"),
+            TraceError::Shape(e) => write!(f, "trace malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl JobTrace {
+    /// Capture an instance into the serializable form.
+    pub fn from_instance(name: &str, inst: &Instance) -> JobTrace {
+        JobTrace {
+            version: FORMAT_VERSION,
+            name: name.to_string(),
+            node_count: inst.dag.node_count() as u32,
+            edges: inst.dag.edges().map(|(u, v)| (u.0, v.0)).collect(),
+            durations_us: inst
+                .durations
+                .iter()
+                .map(|d| (d * 1e6).round() as u64)
+                .collect(),
+            shapes: inst.shapes.iter().map(|&s| s.into()).collect(),
+            initial: inst.initial_active.iter().map(|v| v.0).collect(),
+            fired: inst
+                .fired
+                .iter()
+                .map(|fs| fs.iter().map(|v| v.0).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuild the executable instance.
+    pub fn to_instance(&self) -> Result<Instance, TraceError> {
+        if self.version != FORMAT_VERSION {
+            return Err(TraceError::Version {
+                found: self.version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let n = self.node_count as usize;
+        if self.durations_us.len() != n || self.shapes.len() != n || self.fired.len() != n {
+            return Err(TraceError::Shape(format!(
+                "side tables ({}, {}, {}) do not match node count {}",
+                self.durations_us.len(),
+                self.shapes.len(),
+                self.fired.len(),
+                n
+            )));
+        }
+        let mut b = DagBuilder::with_edge_capacity(n, self.edges.len());
+        for &(u, v) in &self.edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let dag: Arc<Dag> = Arc::new(b.build().map_err(TraceError::Graph)?);
+        let inst = Instance {
+            dag,
+            durations: self.durations_us.iter().map(|&us| us as f64 / 1e6).collect(),
+            shapes: self.shapes.iter().map(|&s| s.into()).collect(),
+            initial_active: self.initial.iter().map(|&v| NodeId(v)).collect(),
+            fired: self
+                .fired
+                .iter()
+                .map(|fs| fs.iter().map(|&v| NodeId(v)).collect())
+                .collect(),
+        };
+        inst.validate().map_err(TraceError::Shape)?;
+        Ok(inst)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("JobTrace serializes infallibly")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<JobTrace, TraceError> {
+        serde_json::from_str(s).map_err(TraceError::Json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instance() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        let mut inst = Instance::unit(Arc::new(b.build().unwrap()), vec![NodeId(0)]);
+        inst.durations = vec![0.5, 1.25, 2.0];
+        inst.shapes = vec![
+            TaskShape::Unit,
+            TaskShape::Chain { len: 3 },
+            TaskShape::WorkSpan { work: 8, span: 2 },
+        ];
+        inst.fired[0] = vec![NodeId(1)];
+        inst
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let inst = sample_instance();
+        let t = JobTrace::from_instance("rt", &inst);
+        let json = t.to_json();
+        let t2 = JobTrace::from_json(&json).unwrap();
+        let inst2 = t2.to_instance().unwrap();
+        assert_eq!(inst2.dag.node_count(), 3);
+        assert_eq!(inst2.durations, inst.durations);
+        assert_eq!(inst2.shapes, inst.shapes);
+        assert_eq!(inst2.initial_active, inst.initial_active);
+        assert_eq!(inst2.fired, inst.fired);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut t = JobTrace::from_instance("v", &sample_instance());
+        t.version = 999;
+        assert!(matches!(
+            t.to_instance(),
+            Err(TraceError::Version { found: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_trace_rejected() {
+        let mut t = JobTrace::from_instance("c", &sample_instance());
+        t.edges.push((2, 0));
+        assert!(matches!(t.to_instance(), Err(TraceError::Graph(_))));
+    }
+
+    #[test]
+    fn mismatched_tables_rejected() {
+        let mut t = JobTrace::from_instance("m", &sample_instance());
+        t.durations_us.pop();
+        assert!(matches!(t.to_instance(), Err(TraceError::Shape(_))));
+    }
+
+    #[test]
+    fn invalid_fired_edge_rejected() {
+        let mut t = JobTrace::from_instance("f", &sample_instance());
+        t.fired[0] = vec![2]; // 0 -> 2 is not an edge
+        assert!(matches!(t.to_instance(), Err(TraceError::Shape(_))));
+    }
+}

@@ -1,0 +1,512 @@
+//! Per-trace parameter sheets for the Table I corpus.
+//!
+//! Each spec records (a) the published Table I statistics, which the
+//! generator matches exactly (nodes, edges, initial tasks, levels) or
+//! within a small tolerance (active jobs — hit by calibrating the firing
+//! probability), (b) the structural knobs (how the active pool is shaped
+//! into dirtied components), (c) the duration calibration (mean + skew),
+//! and (d) the paper's published scheduler measurements for side-by-side
+//! reporting in EXPERIMENTS.md.
+//!
+//! Traces #7/#8 share a DAG and so do #9/#10 (visible in Table I: equal
+//! node/edge/level counts): the presets encode that by sharing the
+//! structural classes and seed while differing in which component class is
+//! dirtied and in the duration scale.
+
+use crate::durations::DurationModel;
+
+/// One class of generated components.
+#[derive(Clone, Copy, Debug)]
+pub struct CompClass {
+    /// Number of components of this class.
+    pub count: u32,
+    /// Depth in levels (a single root at the component's level 0, then
+    /// `width` nodes per deeper level). Must not exceed the trace's level
+    /// count.
+    pub depth: u32,
+    /// Nodes per non-root level.
+    pub width: u32,
+    /// Whether this class's roots are dirtied (become initial tasks).
+    pub dirty: bool,
+}
+
+impl CompClass {
+    /// Nodes per component: one root plus `(depth − 1) · width`.
+    pub fn pool(&self) -> u32 {
+        1 + (self.depth.saturating_sub(1)) * self.width
+    }
+}
+
+/// The numbers the paper reports for this trace, for comparison tables.
+/// `None` = not reported (Table II covers #1–#5, Table III covers #6–#11).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperNumbers {
+    pub lbx_makespan: Option<f64>,
+    pub lbx_overhead: Option<f64>,
+    pub lb_makespan: Option<f64>,
+    pub lb_overhead: Option<f64>,
+    pub hybrid_makespan: Option<f64>,
+    pub hybrid_overhead: Option<f64>,
+    /// Table II LBL makespans for k = 5, 10, 15, 20.
+    pub lbl: Option<[f64; 4]>,
+}
+
+/// Complete parameter sheet for one trace.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    pub name: &'static str,
+    /// Trace number (1–11) as in Table I.
+    pub id: u32,
+    pub seed: u64,
+    // ---- Table I targets ----
+    pub nodes: u32,
+    pub edges: u32,
+    pub initial: u32,
+    pub active: u32,
+    pub levels: u32,
+    // ---- structure ----
+    pub classes: Vec<CompClass>,
+    /// Probability that a non-root component node gets a second parent.
+    pub second_parent: f64,
+    // ---- durations ----
+    pub duration: DurationModel,
+    /// Log-space sigma of a per-component duration multiplier
+    /// (mean-normalized). Production predicates differ wildly in cost;
+    /// a high value concentrates the work in a few components, which is
+    /// what makes LevelBased's barrier harmless on traces like #8
+    /// (everything waits for the one heavy chain anyway).
+    pub comp_scale_sigma: f64,
+    // ---- paper reference ----
+    pub paper: PaperNumbers,
+}
+
+impl TraceSpec {
+    /// Dirtied components (= Table I initial tasks).
+    pub fn dirty_components(&self) -> u32 {
+        self.classes
+            .iter()
+            .filter(|c| c.dirty)
+            .map(|c| c.count)
+            .sum()
+    }
+
+    /// Sanity-check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dirty_components() != self.initial {
+            return Err(format!(
+                "{}: dirty components {} != initial target {}",
+                self.name,
+                self.dirty_components(),
+                self.initial
+            ));
+        }
+        let comp_nodes: u64 = self
+            .classes
+            .iter()
+            .map(|c| c.count as u64 * c.pool() as u64)
+            .sum();
+        if comp_nodes + self.levels as u64 > self.nodes as u64 {
+            return Err(format!(
+                "{}: components + spine ({}) exceed node budget {}",
+                self.name,
+                comp_nodes + self.levels as u64,
+                self.nodes
+            ));
+        }
+        for c in &self.classes {
+            if c.depth > self.levels {
+                return Err(format!("{}: component deeper than the DAG", self.name));
+            }
+            if c.depth == 0 || (c.depth > 1 && c.width == 0) {
+                return Err(format!("{}: degenerate component class", self.name));
+            }
+        }
+        let dirty_pool: u64 = self
+            .classes
+            .iter()
+            .filter(|c| c.dirty)
+            .map(|c| c.count as u64 * c.pool() as u64)
+            .sum();
+        if dirty_pool < self.active as u64 {
+            return Err(format!(
+                "{}: dirty pool {} cannot reach active target {}",
+                self.name, dirty_pool, self.active
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// All eleven presets, in Table I order.
+pub fn presets() -> Vec<TraceSpec> {
+    (1..=11).map(preset).collect()
+}
+
+/// The preset for trace `#id` (1–11).
+pub fn preset(id: u32) -> TraceSpec {
+    // Shared structural classes for the #7/#8 and #9/#10 DAG pairs.
+    let classes_78 = |dirty_small: bool| {
+        vec![
+            CompClass {
+                count: 9,
+                depth: 32,
+                width: 1,
+                dirty: true,
+            },
+            CompClass {
+                count: 67,
+                depth: 6,
+                width: 2,
+                dirty: dirty_small,
+            },
+        ]
+    };
+    let classes_910 = |dirty_big: bool, dirty_small: bool| {
+        vec![
+            CompClass {
+                count: 16,
+                depth: 100,
+                width: 2,
+                dirty: dirty_big,
+            },
+            CompClass {
+                count: 10,
+                depth: 5,
+                width: 4,
+                dirty: dirty_small,
+            },
+        ]
+    };
+    match id {
+        1 => TraceSpec {
+            name: "#1",
+            id,
+            seed: 0x5EED_0001,
+            nodes: 64_910,
+            edges: 101_327,
+            initial: 5,
+            active: 532,
+            levels: 171,
+            classes: vec![CompClass {
+                count: 5,
+                depth: 35,
+                width: 10,
+                dirty: true,
+            }],
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(0.36, 1.0),
+            paper: PaperNumbers {
+                lbx_makespan: Some(26.5),
+                lb_makespan: Some(57.74),
+                lbl: Some([36.72, 33.09, 31.25, 30.99]),
+                ..Default::default()
+            },
+        },
+        2 => TraceSpec {
+            name: "#2",
+            id,
+            seed: 0x5EED_0002,
+            nodes: 64_903,
+            edges: 101_319,
+            initial: 16,
+            active: 1_936,
+            levels: 171,
+            classes: vec![CompClass {
+                count: 16,
+                depth: 70,
+                width: 2,
+                dirty: true,
+            }],
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(36.2, 1.3),
+            paper: PaperNumbers {
+                lbx_makespan: Some(9_736.0),
+                lb_makespan: Some(20_979.3),
+                lbl: Some([11_906.9, 9_846.16, 9_866.64, 9_860.42]),
+                ..Default::default()
+            },
+        },
+        3 => TraceSpec {
+            name: "#3",
+            id,
+            seed: 0x5EED_0003,
+            nodes: 29_185,
+            edges: 41_506,
+            initial: 76,
+            active: 560,
+            levels: 149,
+            classes: vec![CompClass {
+                count: 76,
+                depth: 20,
+                width: 1,
+                dirty: true,
+            }],
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(1.95, 1.3),
+            paper: PaperNumbers {
+                lbx_makespan: Some(187.0),
+                lb_makespan: Some(448.40),
+                lbl: Some([299.34, 285.91, 230.22, 229.34]),
+                ..Default::default()
+            },
+        },
+        4 => TraceSpec {
+            name: "#4",
+            id,
+            seed: 0x5EED_0004,
+            nodes: 64_507,
+            edges: 100_779,
+            initial: 26,
+            active: 1_342,
+            levels: 171,
+            classes: vec![CompClass {
+                count: 26,
+                depth: 60,
+                width: 1,
+                dirty: true,
+            }],
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(1.82, 1.3),
+            paper: PaperNumbers {
+                lbx_makespan: Some(303.0),
+                lb_makespan: Some(866.66),
+                lbl: Some([576.49, 490.15, 444.67, 426.22]),
+                ..Default::default()
+            },
+        },
+        5 => TraceSpec {
+            name: "#5",
+            id,
+            seed: 0x5EED_0005,
+            nodes: 1_719,
+            edges: 2_430,
+            initial: 6,
+            active: 296,
+            levels: 39,
+            classes: vec![CompClass {
+                count: 6,
+                depth: 13,
+                width: 5,
+                dirty: true,
+            }],
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(0.56, 0.6),
+            paper: PaperNumbers {
+                lbx_makespan: Some(23.0),
+                lb_makespan: Some(29.32),
+                lbl: Some([24.52, 24.52, 24.52, 24.52]),
+                ..Default::default()
+            },
+        },
+        6 => TraceSpec {
+            name: "#6",
+            id,
+            seed: 0x5EED_0006,
+            nodes: 379_500,
+            edges: 557_702,
+            initial: 125_544,
+            active: 126_979,
+            levels: 11,
+            classes: vec![CompClass {
+                count: 125_544,
+                depth: 3,
+                width: 1,
+                dirty: true,
+            }],
+            second_parent: 0.9,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(29e-6, 0.8),
+            paper: PaperNumbers {
+                lbx_makespan: Some(33.24),
+                lbx_overhead: Some(21.69),
+                lb_makespan: Some(0.49),
+                lb_overhead: Some(0.027),
+                hybrid_makespan: Some(21.93),
+                hybrid_overhead: Some(10.89),
+                ..Default::default()
+            },
+        },
+        7 => TraceSpec {
+            name: "#7",
+            id,
+            seed: 0x5EED_0007,
+            nodes: 35_283,
+            edges: 50_511,
+            initial: 76,
+            active: 645,
+            levels: 198,
+            classes: classes_78(true),
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(1.6, 1.3),
+            paper: PaperNumbers {
+                lbx_makespan: Some(155.77),
+                lbx_overhead: Some(0.109),
+                lb_makespan: Some(348.35),
+                lb_overhead: Some(0.038e-3),
+                hybrid_makespan: Some(187.08),
+                hybrid_overhead: Some(0.077),
+                ..Default::default()
+            },
+        },
+        8 => TraceSpec {
+            name: "#8",
+            id,
+            seed: 0x5EED_0007, // same DAG as #7
+            nodes: 35_283,
+            edges: 50_511,
+            initial: 9,
+            active: 177,
+            levels: 198,
+            classes: classes_78(false),
+            second_parent: 0.5,
+            comp_scale_sigma: 2.0,
+            duration: DurationModel::new(1.5, 0.4),
+            paper: PaperNumbers {
+                lbx_makespan: Some(28.69),
+                lbx_overhead: Some(0.022),
+                lb_makespan: Some(28.29),
+                lb_overhead: Some(0.009e-3),
+                hybrid_makespan: Some(25.52),
+                hybrid_overhead: Some(0.020),
+                ..Default::default()
+            },
+        },
+        9 => TraceSpec {
+            name: "#9",
+            id,
+            seed: 0x5EED_0009, // same DAG as #10
+            nodes: 65_541,
+            edges: 102_219,
+            initial: 10,
+            active: 111,
+            levels: 171,
+            classes: classes_910(false, true),
+            second_parent: 0.5,
+            comp_scale_sigma: 0.8,
+            duration: DurationModel::new(0.82e-3, 0.6),
+            paper: PaperNumbers {
+                lbx_makespan: Some(0.048),
+                lbx_overhead: Some(0.0107),
+                lb_makespan: Some(0.037),
+                lb_overhead: Some(0.013e-3),
+                hybrid_makespan: Some(0.041),
+                hybrid_overhead: Some(0.009),
+                ..Default::default()
+            },
+        },
+        10 => TraceSpec {
+            name: "#10",
+            id,
+            seed: 0x5EED_0009,
+            nodes: 65_541,
+            edges: 102_219,
+            initial: 16,
+            active: 1_936,
+            levels: 171,
+            classes: classes_910(true, false),
+            second_parent: 0.5,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(36.8, 1.2),
+            paper: PaperNumbers {
+                lbx_makespan: Some(9_893.29),
+                lbx_overhead: Some(0.327),
+                lb_makespan: Some(20_897.9),
+                lb_overhead: Some(0.159e-3),
+                hybrid_makespan: Some(10_123.74),
+                hybrid_overhead: Some(0.289),
+                ..Default::default()
+            },
+        },
+        11 => TraceSpec {
+            name: "#11",
+            id,
+            seed: 0x5EED_0011,
+            nodes: 465_127,
+            edges: 465_158,
+            initial: 131_104,
+            active: 132_162,
+            levels: 5,
+            classes: vec![CompClass {
+                count: 131_104,
+                depth: 3,
+                width: 1,
+                dirty: true,
+            }],
+            second_parent: 0.0,
+            comp_scale_sigma: 0.0,
+            duration: DurationModel::new(39.9e-3, 0.8),
+            paper: PaperNumbers {
+                lbx_makespan: Some(688.38),
+                lbx_overhead: Some(21.03),
+                lb_makespan: Some(694.24),
+                lb_overhead: Some(0.042),
+                hybrid_makespan: Some(630.01),
+                hybrid_overhead: Some(7.47),
+                ..Default::default()
+            },
+        },
+        other => panic!("no preset for trace #{other} (valid: 1-11)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in presets() {
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn pairs_share_structure() {
+        let (a, b) = (preset(7), preset(8));
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.levels, b.levels);
+        let (c, d) = (preset(9), preset(10));
+        assert_eq!(c.seed, d.seed);
+        assert_eq!(c.nodes, d.nodes);
+    }
+
+    #[test]
+    fn initial_counts_match_table1() {
+        let expected = [5, 16, 76, 26, 6, 125_544, 76, 9, 10, 16, 131_104];
+        for (i, spec) in presets().iter().enumerate() {
+            assert_eq!(spec.initial as usize, expected[i] as usize, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn pool_formula() {
+        let c = CompClass {
+            count: 1,
+            depth: 5,
+            width: 3,
+            dirty: false,
+        };
+        assert_eq!(c.pool(), 1 + 4 * 3);
+        let root_only = CompClass {
+            count: 1,
+            depth: 1,
+            width: 0,
+            dirty: false,
+        };
+        assert_eq!(root_only.pool(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no preset")]
+    fn unknown_preset_panics() {
+        preset(12);
+    }
+}

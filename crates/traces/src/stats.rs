@@ -1,0 +1,105 @@
+//! Table I statistics and the Figure 1 descendant census, recomputed from
+//! any instance.
+
+use incr_dag::reach;
+use incr_sched::Instance;
+
+/// The columns of Table I, plus the Figure 1 census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub initial_tasks: usize,
+    pub active_jobs: usize,
+    pub levels: u32,
+    /// Figure 1: every node that *could* be affected by the update.
+    pub total_descendants: usize,
+    /// Figure 1: how many of those actually activate.
+    pub activated_descendants: usize,
+    /// Width of the widest level (shallow-trace diagnostics).
+    pub max_level_width: usize,
+}
+
+/// Compute all statistics for `inst`.
+pub fn trace_stats(inst: &Instance) -> TraceStats {
+    let active = inst.active_closure();
+    let census = reach::descendant_census(
+        &inst.dag,
+        inst.initial_active.iter().copied(),
+        &active,
+    );
+    TraceStats {
+        nodes: inst.dag.node_count(),
+        edges: inst.dag.edge_count(),
+        initial_tasks: inst.initial_active.len(),
+        active_jobs: active.len(),
+        levels: inst.dag.num_levels(),
+        total_descendants: census.total_descendants,
+        activated_descendants: census.activated_descendants,
+        max_level_width: incr_dag::levels::max_level_width(&inst.dag),
+    }
+}
+
+/// Render a Table-I style row.
+pub fn format_row(name: &str, s: &TraceStats) -> String {
+    format!(
+        "{:<6} {:>8} {:>8} {:>9} {:>8} {:>7} {:>10} {:>10}",
+        name,
+        s.nodes,
+        s.edges,
+        s.initial_tasks,
+        s.active_jobs,
+        s.levels,
+        s.total_descendants,
+        s.activated_descendants
+    )
+}
+
+/// Header matching [`format_row`].
+pub fn header() -> String {
+    format!(
+        "{:<6} {:>8} {:>8} {:>9} {:>8} {:>7} {:>10} {:>10}",
+        "trace", "nodes", "edges", "initial", "active", "levels", "desc.pool", "desc.act"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incr_dag::{DagBuilder, NodeId};
+    use std::sync::Arc;
+
+    fn tiny() -> Instance {
+        // 0 -> 1 -> 2, 0 -> 3; fire only 0->1.
+        let mut b = DagBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let mut inst = Instance::unit(Arc::new(b.build().unwrap()), vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(1)];
+        inst
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = trace_stats(&tiny());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.initial_tasks, 1);
+        assert_eq!(s.active_jobs, 2); // 0 and 1
+        assert_eq!(s.levels, 3);
+        assert_eq!(s.total_descendants, 3); // 1, 2, 3
+        assert_eq!(s.activated_descendants, 1); // only 1
+        assert_eq!(s.max_level_width, 2);
+    }
+
+    #[test]
+    fn row_formatting_includes_all_fields() {
+        let s = trace_stats(&tiny());
+        let row = format_row("#t", &s);
+        for needle in ["#t", "4", "3", "1", "2"] {
+            assert!(row.contains(needle), "row {row:?} missing {needle}");
+        }
+        assert_eq!(header().split_whitespace().count(), 8);
+    }
+}

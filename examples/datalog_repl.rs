@@ -1,0 +1,124 @@
+//! Interactive Datalog with incremental maintenance — a miniature of the
+//! LogicBlox workflow the paper describes: load rules, query the
+//! materialization, stream base-table edits and even rule changes, and
+//! watch the scheduler re-derive only what the data requires.
+//!
+//! Run: `cargo run --example datalog_repl` (then type `help`).
+//! Also scriptable: `echo '+edge(c, d)\n?path(a, ?)' | cargo run --example datalog_repl`
+
+use datalog_sched::datalog::{FactEdit, IncrementalEngine};
+use datalog_sched::sched::{Hybrid, Scheduler};
+use std::io::{BufRead, Write};
+
+const BOOT: &str = "
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    edge(a, b). edge(b, c).
+";
+
+fn main() {
+    let mut engine = IncrementalEngine::new(BOOT).expect("boot program parses");
+    println!("incremental Datalog REPL — type `help` for commands");
+    println!("booted with:\n{}", BOOT.trim());
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    print!("> ");
+    let _ = out.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        match run_command(&mut engine, line) {
+            Ok(Some(reply)) => println!("{reply}"),
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+        print!("> ");
+        let _ = out.flush();
+    }
+    println!();
+}
+
+/// Execute one REPL command; `Ok(None)` means quit.
+fn run_command(engine: &mut IncrementalEngine, line: &str) -> Result<Option<String>, String> {
+    let mk = |dag| -> Box<dyn Scheduler> { Box::new(Hybrid::new(dag)) };
+    let reply = match line {
+        "" => String::new(),
+        "help" => "\
+commands:
+  +pred(a, b)          insert a base fact
+  -pred(a, b)          remove a base fact
+  ?pred(a, ?)          query the materialization (`?`/uppercase = wildcard)
+  rule: <clause>       add a rule incrementally
+  unrule: <clause>     remove a rule incrementally
+  dag                  show the predicate task graph
+  quit                 exit"
+            .to_string(),
+        "quit" | "exit" => return Ok(None),
+        "dag" => {
+            let dag = engine.dag();
+            format!(
+                "{} tasks, {} dependencies, {} levels",
+                dag.node_count(),
+                dag.edge_count(),
+                dag.num_levels()
+            )
+        }
+        _ if line.starts_with('+') || line.starts_with('-') => {
+            let adding = line.starts_with('+');
+            let (pred, args) = parse_fact(&line[1..])?;
+            let args_ref: Vec<&str> = args.iter().map(String::as_str).collect();
+            let edit = if adding {
+                FactEdit::add(&pred, &args_ref)
+            } else {
+                FactEdit::remove(&pred, &args_ref)
+            };
+            let mut sched = Hybrid::new(engine.dag().clone());
+            let rep = engine.update(&mut sched, &[edit]).map_err(|e| e.to_string())?;
+            format!(
+                "ok: {} tasks re-ran, {} edges fired, changes: {:?}",
+                rep.tasks_executed, rep.edges_fired, rep.pred_changes
+            )
+        }
+        _ if line.starts_with('?') => {
+            let rows = engine.query(&line[1..]).map_err(|e| e.to_string())?;
+            if rows.is_empty() {
+                "no matches".to_string()
+            } else {
+                format!("{} rows:\n  {}", rows.len(), rows.join("\n  "))
+            }
+        }
+        _ if line.starts_with("rule:") => {
+            let rep = engine
+                .add_rule(line["rule:".len()..].trim(), mk)
+                .map_err(|e| e.to_string())?;
+            format!("rule added: {} tasks re-ran", rep.tasks_executed)
+        }
+        _ if line.starts_with("unrule:") => {
+            let rep = engine
+                .remove_rule(line["unrule:".len()..].trim(), mk)
+                .map_err(|e| e.to_string())?;
+            format!("rule removed: {} tasks re-ran", rep.tasks_executed)
+        }
+        other => return Err(format!("unknown command {other:?}; try `help`")),
+    };
+    Ok(Some(reply))
+}
+
+/// Parse `pred(a, b)` into name + args.
+fn parse_fact(src: &str) -> Result<(String, Vec<String>), String> {
+    let src = src.trim().trim_end_matches('.');
+    let open = src.find('(').ok_or("expected pred(args)")?;
+    if !src.ends_with(')') {
+        return Err("missing ')'".into());
+    }
+    let pred = src[..open].trim().to_string();
+    let args = src[open + 1..src.len() - 1]
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .collect::<Vec<_>>();
+    if pred.is_empty() || args.iter().any(String::is_empty) {
+        return Err("malformed fact".into());
+    }
+    Ok((pred, args))
+}

@@ -1,0 +1,60 @@
+//! The hybrid rescue, §V–§VI in miniature: on the LogicBlox scheduler's
+//! pathological instances the hybrid's LevelBased side keeps processors
+//! saturated, and on LevelBased's pathological instance (Figure 2) the
+//! hybrid's LogicBlox side finds cross-level work behind the barrier.
+//! One scheduler's worst case is the other's easy case — the hybrid
+//! inherits the best of both.
+//!
+//! Run: `cargo run --release --example pathological_rescue`
+
+use datalog_sched::sched::SchedulerKind;
+use datalog_sched::sim::{simulate_event, EventSimConfig};
+use datalog_sched::traces::adversarial::{figure2, hundred_x};
+
+fn main() {
+    let cfg = EventSimConfig {
+        processors: 8,
+        ..Default::default()
+    };
+
+    println!("instance A: 30,000 simultaneous point updates (bad for LogicBlox)\n");
+    let a = hundred_x(30_000);
+    for kind in [
+        SchedulerKind::LogicBlox,
+        SchedulerKind::LevelBased,
+        SchedulerKind::Hybrid,
+    ] {
+        let mut s = kind.build(a.dag.clone());
+        let r = simulate_event(s.as_mut(), &a, &cfg);
+        println!(
+            "  {:<12} makespan {:>10.4} s   overhead {:>10.4} s",
+            kind.label(),
+            r.makespan,
+            r.sched_overhead
+        );
+    }
+
+    println!("\ninstance B: the Figure 2 tight example, L = 64 (bad for LevelBased)\n");
+    let b = figure2(64);
+    let cfg_b = EventSimConfig {
+        processors: 64, // Theorem 9 assumes M <= P
+        ..Default::default()
+    };
+    for kind in [
+        SchedulerKind::LogicBlox,
+        SchedulerKind::LevelBased,
+        SchedulerKind::Hybrid,
+    ] {
+        let mut s = kind.build(b.dag.clone());
+        let r = simulate_event(s.as_mut(), &b, &cfg_b);
+        println!(
+            "  {:<12} makespan {:>10.1} s   overhead {:>10.6} s",
+            kind.label(),
+            r.makespan,
+            r.sched_overhead
+        );
+    }
+
+    println!("\nthe hybrid is within a small factor of the better scheduler on BOTH instances —");
+    println!("\"adding our new scheduler only results in performance improvements\" (§II-B).");
+}

@@ -1,0 +1,80 @@
+//! Explore the regenerated trace corpus: generate a preset, print its
+//! Table-I statistics, serialize it to the JSON trace format, round-trip
+//! it, simulate it, and optionally export a DOT excerpt.
+//!
+//! Run: `cargo run --release --example trace_explorer -- 5 [out.dot]`
+
+use datalog_sched::dag::dot::{to_dot, DotOptions};
+use datalog_sched::sched::SchedulerKind;
+use datalog_sched::sim::{simulate_event, EventSimConfig};
+use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
+
+fn main() {
+    let id: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let dot_path = std::env::args().nth(2);
+
+    let spec = preset(id);
+    println!("generating trace {} (seed {:#x})...", spec.name, spec.seed);
+    let (inst, rep) = generate(&spec);
+    let st = trace_stats(&inst);
+    println!(
+        "  nodes {} | edges {} | initial {} | active {} (target {}, threshold {:.4}) | levels {}",
+        st.nodes, st.edges, st.initial_tasks, st.active_jobs, spec.active, rep.fire_threshold, st.levels
+    );
+    println!(
+        "  descendants of the update: {} total, {} activated ({:.1}%)",
+        st.total_descendants,
+        st.activated_descendants,
+        st.activated_descendants as f64 / st.total_descendants.max(1) as f64 * 100.0
+    );
+
+    // Round-trip through the trace file format.
+    let json = JobTrace::from_instance(spec.name, &inst).to_json();
+    println!("  serialized trace: {:.1} MiB", json.len() as f64 / (1 << 20) as f64);
+    let back = JobTrace::from_json(&json)
+        .expect("parse")
+        .to_instance()
+        .expect("rebuild");
+    assert_eq!(back.active_count(), st.active_jobs);
+    println!("  round-trip OK");
+
+    // Simulate the three Table-III schedulers.
+    let cfg = EventSimConfig {
+        processors: 8,
+        ..Default::default()
+    };
+    println!("\nsimulation (8 processors):");
+    for kind in [
+        SchedulerKind::LogicBlox,
+        SchedulerKind::LevelBased,
+        SchedulerKind::HybridBackground(1),
+    ] {
+        let mut s = kind.build(inst.dag.clone());
+        let r = simulate_event(s.as_mut(), &inst, &cfg);
+        println!(
+            "  {:<14} makespan {:>12.4} s  overhead {:>12.6} s  ({} tasks)",
+            kind.label(),
+            r.makespan,
+            r.sched_overhead,
+            r.executed
+        );
+    }
+
+    if let Some(path) = dot_path {
+        let active = inst.active_closure();
+        let dot = to_dot(
+            &inst.dag,
+            &DotOptions {
+                name: format!("trace{id}"),
+                rank_by_level: true,
+                max_nodes: Some(800),
+            },
+            |v| active.contains(v).then_some("tomato"),
+        );
+        std::fs::write(&path, dot).expect("write dot");
+        println!("\nwrote DOT excerpt to {path}");
+    }
+}

@@ -1,0 +1,220 @@
+//! `dlsched` — the command-line face of the library.
+//!
+//! ```text
+//! dlsched gen <id|all> [dir]          regenerate Table-I trace JSON files
+//! dlsched stats <trace.json>          Table-I statistics of a trace file
+//! dlsched simulate <trace.json|#id> [--sched S] [--procs P]
+//!                                     simulate a trace and report
+//!                                     makespan/overhead/utilization
+//! dlsched gantt <#id|figure2:L> <out.svg> [--sched S] [--procs P]
+//!                                     render a schedule timeline
+//! ```
+//!
+//! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
+//! `hybrid`, `hybrid-bg:<slice>`, `exact`.
+
+use datalog_sched::sched::{CostPrices, SchedulerKind};
+use datalog_sched::sim::{record_timeline, simulate_event, EventSimConfig};
+use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
+use incr_sched::Instance;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("gantt") => cmd_gantt(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dlsched <gen|stats|simulate|gantt> ...\n\
+                 see the crate docs (src/bin/dlsched.rs) for details"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn parse_sched(s: &str) -> Result<SchedulerKind, String> {
+    Ok(match s {
+        "levelbased" | "lb" => SchedulerKind::LevelBased,
+        "logicblox" | "lbx" => SchedulerKind::LogicBlox,
+        "signal" => SchedulerKind::SignalPropagation,
+        "hybrid" => SchedulerKind::Hybrid,
+        "exact" => SchedulerKind::ExactGreedy,
+        _ if s.starts_with("lbl:") => SchedulerKind::Lookahead(
+            s[4..].parse().map_err(|e| format!("bad k in {s:?}: {e}"))?,
+        ),
+        _ if s.starts_with("hybrid-bg:") => SchedulerKind::HybridBackground(
+            s[10..].parse().map_err(|e| format!("bad slice in {s:?}: {e}"))?,
+        ),
+        _ => return Err(format!("unknown scheduler {s:?}")),
+    })
+}
+
+/// `#id`, `figure2:L`, or a JSON trace path.
+fn load_instance(spec: &str) -> Result<(String, Instance), String> {
+    if let Some(id) = spec.strip_prefix('#') {
+        let id: u32 = id.parse().map_err(|e| format!("bad trace id: {e}"))?;
+        if !(1..=11).contains(&id) {
+            return Err(format!("no preset trace #{id} (valid: #1-#11)"));
+        }
+        let (inst, _) = generate(&preset(id));
+        return Ok((format!("trace {spec}"), inst));
+    }
+    if let Some(l) = spec.strip_prefix("figure2:") {
+        let l: u32 = l.parse().map_err(|e| format!("bad L: {e}"))?;
+        return Ok((
+            format!("figure2({l})"),
+            datalog_sched::traces::adversarial::figure2(l),
+        ));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("read {spec}: {e}"))?;
+    let inst = JobTrace::from_json(&text)
+        .map_err(|e| e.to_string())?
+        .to_instance()
+        .map_err(|e| e.to_string())?;
+    Ok((spec.to_string(), inst))
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let dir = args.get(1).map(String::as_str).unwrap_or("traces");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("cannot create {dir}");
+        return 1;
+    }
+    let ids: Vec<u32> = if which == "all" {
+        (1..=11).collect()
+    } else {
+        match which.trim_start_matches('#').parse() {
+            Ok(i) if (1..=11).contains(&i) => vec![i],
+            Ok(i) => {
+                eprintln!("no preset trace #{i} (valid: #1-#11)");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("bad id {which:?}: {e}");
+                return 2;
+            }
+        }
+    };
+    for id in ids {
+        let spec = preset(id);
+        let (inst, rep) = generate(&spec);
+        let path = format!("{dir}/trace{id:02}.json");
+        if let Err(e) = std::fs::write(&path, JobTrace::from_instance(spec.name, &inst).to_json())
+        {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!(
+            "{path}: {} nodes, {} active (target {})",
+            spec.nodes, rep.achieved_active, spec.active
+        );
+    }
+    0
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else {
+        eprintln!("usage: dlsched stats <trace.json|#id>");
+        return 2;
+    };
+    match load_instance(spec) {
+        Ok((name, inst)) => {
+            let st = trace_stats(&inst);
+            println!("{name}:");
+            println!("  nodes {}  edges {}  levels {}", st.nodes, st.edges, st.levels);
+            println!(
+                "  initial {}  active {}  descendant pool {} ({} activated)",
+                st.initial_tasks, st.active_jobs, st.total_descendants, st.activated_descendants
+            );
+            println!("  widest level: {} nodes", st.max_level_width);
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else {
+        eprintln!("usage: dlsched simulate <trace.json|#id> [--sched S] [--procs P]");
+        return 2;
+    };
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("hybrid")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let procs: usize = flag(args, "--procs").and_then(|p| p.parse().ok()).unwrap_or(8);
+    match load_instance(spec) {
+        Ok((name, inst)) => {
+            let mut s = kind.build(inst.dag.clone());
+            let r = simulate_event(
+                s.as_mut(),
+                &inst,
+                &EventSimConfig {
+                    processors: procs,
+                    ..Default::default()
+                },
+            );
+            println!("{name} under {} on {procs} processors:", kind.label());
+            println!("  makespan        {:.6} s", r.makespan);
+            println!("  sched overhead  {:.6} s", r.sched_overhead);
+            println!("  tasks executed  {}", r.executed);
+            println!("  utilization     {:.1}%", r.utilization(procs) * 100.0);
+            println!("  peak run state  {} B", r.peak_space);
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_gantt(args: &[String]) -> i32 {
+    let (Some(spec), Some(out)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: dlsched gantt <#id|figure2:L|trace.json> <out.svg> [--sched S] [--procs P]");
+        return 2;
+    };
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("levelbased")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let procs: usize = flag(args, "--procs").and_then(|p| p.parse().ok()).unwrap_or(8);
+    match load_instance(spec) {
+        Ok((name, inst)) => {
+            let mut s = kind.build(inst.dag.clone());
+            let t = record_timeline(s.as_mut(), &inst, procs, &CostPrices::default());
+            let title = format!("{} on {name} (P={procs})", kind.label());
+            if std::fs::write(out, t.to_svg(&title)).is_err() {
+                eprintln!("cannot write {out}");
+                return 1;
+            }
+            println!("{out}: makespan {:.4}, {} spans", t.makespan, t.spans.len());
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the paper's theory (Lemmas 3/5/7, Theorems 2
+//! and 9) on randomized instances, using the unit-step simulator.
+
+use datalog_sched::dag::{random, NodeId};
+use datalog_sched::sched::{Instance, LevelBased, Scheduler, SchedulerKind, TaskShape};
+use datalog_sched::sim::{simulate_step, StepSimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Random layered instance with the requested task shapes.
+fn random_instance(seed: u64, shape_mode: u8) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = Arc::new(random::layered(random::LayeredParams {
+        layers: rng.gen_range(3..9),
+        width: rng.gen_range(2..7),
+        max_in: 3,
+        back_span: 2,
+        seed: seed ^ 0xABCD,
+    }));
+    let initial: Vec<NodeId> = dag.sources().collect();
+    let mut inst = Instance::unit(dag.clone(), initial);
+    for v in dag.nodes() {
+        inst.fired[v.index()] = dag
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.7))
+            .collect();
+        inst.shapes[v.index()] = match shape_mode {
+            0 => TaskShape::Unit,
+            1 => TaskShape::Parallel {
+                work: rng.gen_range(1..20),
+            },
+            _ => {
+                let work = rng.gen_range(1..20);
+                let span = rng.gen_range(1..=work);
+                TaskShape::WorkSpan { work, span }
+            }
+        };
+    }
+    inst
+}
+
+/// Lemma 3: unit tasks — LevelBased makespan <= w/P + L.
+#[test]
+fn lemma3_unit_tasks() {
+    for seed in 0..25u64 {
+        let inst = random_instance(seed, 0);
+        let w = inst.active_work_units();
+        let l = inst.dag.num_levels() as u64;
+        for p in [1usize, 2, 3, 8] {
+            let mut s = LevelBased::new(inst.dag.clone());
+            let r = simulate_step(
+                &mut s,
+                &inst,
+                &StepSimConfig {
+                    processors: p,
+                    audit: true,
+                },
+            );
+            let bound = w.div_ceil(p as u64) + l;
+            assert!(
+                r.makespan <= bound,
+                "seed {seed} P={p}: {} > {bound}",
+                r.makespan
+            );
+        }
+    }
+}
+
+/// Lemma 5: fully parallelizable tasks — makespan <= w/P + L.
+#[test]
+fn lemma5_fully_parallel_tasks() {
+    for seed in 100..120u64 {
+        let inst = random_instance(seed, 1);
+        let w = inst.active_work_units();
+        let l = inst.dag.num_levels() as u64;
+        for p in [1usize, 4, 16] {
+            let mut s = LevelBased::new(inst.dag.clone());
+            let r = simulate_step(
+                &mut s,
+                &inst,
+                &StepSimConfig {
+                    processors: p,
+                    audit: true,
+                },
+            );
+            let bound = w.div_ceil(p as u64) + l;
+            assert!(
+                r.makespan <= bound,
+                "seed {seed} P={p}: {} > {bound}",
+                r.makespan
+            );
+        }
+    }
+}
+
+/// Lemma 7: arbitrary tasks — makespan <= w/P + sum_i S_i.
+#[test]
+fn lemma7_arbitrary_tasks() {
+    for seed in 200..220u64 {
+        let inst = random_instance(seed, 2);
+        let w = inst.active_work_units();
+        let sum_spans: u64 = inst.level_spans().iter().sum();
+        for p in [1usize, 4, 8] {
+            let mut s = LevelBased::new(inst.dag.clone());
+            let r = simulate_step(
+                &mut s,
+                &inst,
+                &StepSimConfig {
+                    processors: p,
+                    audit: true,
+                },
+            );
+            let bound = w.div_ceil(p as u64) + sum_spans;
+            assert!(
+                r.makespan <= bound,
+                "seed {seed} P={p}: {} > {bound}",
+                r.makespan
+            );
+        }
+    }
+}
+
+/// Theorem 9: on the Figure 2 instance the LB/exact ratio grows with L,
+/// and the analytic forms hold exactly.
+#[test]
+fn theorem9_tight_example() {
+    use datalog_sched::traces::adversarial::figure2;
+    let mut last_ratio = 0.0;
+    for l in [8u32, 16, 32, 64] {
+        let inst = figure2(l);
+        let cfg = StepSimConfig {
+            processors: l as usize,
+            audit: true,
+        };
+        let mut lb = LevelBased::new(inst.dag.clone());
+        let m_lb = simulate_step(&mut lb, &inst, &cfg).makespan;
+        let mut ex = SchedulerKind::ExactGreedy.build(inst.dag.clone());
+        let m_ex = simulate_step(ex.as_mut(), &inst, &cfg).makespan;
+        // LevelBased: level i waits for k_i (span L-i+1): total
+        // L + sum_{i=2..L}(L-i+1) ... lower-bounded by the sum alone.
+        assert!(
+            m_lb as f64 >= (l as f64) * (l as f64 - 1.0) / 2.0,
+            "L={l}: LB {m_lb} below the Θ(L²) floor"
+        );
+        // Exact greedy achieves Θ(L + M) = Θ(2L).
+        assert!(
+            m_ex <= 2 * l as u64,
+            "L={l}: exact {m_ex} above the Θ(L) schedule"
+        );
+        let ratio = m_lb as f64 / m_ex as f64;
+        assert!(ratio > last_ratio, "ratio must grow with L");
+        last_ratio = ratio;
+    }
+}
+
+/// Theorem 2: LevelBased scheduling cost O(n + L) and tracked space O(n),
+/// across the random instances.
+#[test]
+fn theorem2_cost_and_space() {
+    for seed in 300..330u64 {
+        let inst = random_instance(seed, 0);
+        let mut s = LevelBased::new(inst.dag.clone());
+        let r = simulate_step(
+            &mut s,
+            &inst,
+            &StepSimConfig {
+                processors: 4,
+                audit: false,
+            },
+        );
+        let n = r.executed as u64;
+        let l = inst.dag.num_levels() as u64;
+        let c = s.cost();
+        assert!(
+            c.bucket_ops <= 3 * n + l + 1,
+            "seed {seed}: {} bucket ops for n={n}, L={l}",
+            c.bucket_ops
+        );
+        assert!(s.peak_tracked() as u64 <= n.max(1));
+        assert_eq!(c.ancestor_queries, 0, "LevelBased never queries ancestry");
+    }
+}

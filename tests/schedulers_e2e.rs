@@ -1,0 +1,221 @@
+//! Cross-crate end-to-end tests: generated traces, the event simulator,
+//! every scheduler, and the trace file format.
+
+use datalog_sched::sched::{CostPrices, SchedulerKind};
+use datalog_sched::sim::{simulate_event, EventSimConfig};
+use datalog_sched::traces::{generate, preset, spec::CompClass, trace_stats, JobTrace, TraceSpec};
+
+/// A fast mini-trace in the style of the presets.
+fn mini_spec(seed: u64) -> TraceSpec {
+    TraceSpec {
+        name: "mini",
+        id: 90,
+        seed,
+        nodes: 3_000,
+        edges: 4_500,
+        initial: 12,
+        active: 260,
+        levels: 40,
+        classes: vec![CompClass {
+            count: 12,
+            depth: 12,
+            width: 3,
+            dirty: true,
+        }],
+        second_parent: 0.5,
+        comp_scale_sigma: 0.0,
+        duration: datalog_sched::traces::durations::DurationModel::new(0.5, 1.0),
+        paper: Default::default(),
+    }
+}
+
+const ALL: [SchedulerKind; 7] = [
+    SchedulerKind::LevelBased,
+    SchedulerKind::Lookahead(5),
+    SchedulerKind::Lookahead(50),
+    SchedulerKind::LogicBlox,
+    SchedulerKind::LogicBloxFaithful,
+    SchedulerKind::SignalPropagation,
+    SchedulerKind::Hybrid,
+];
+
+/// Every scheduler executes exactly the active closure, audited against
+/// ground-truth reachability.
+#[test]
+fn all_schedulers_safe_and_complete_on_generated_traces() {
+    for seed in [1u64, 2, 3] {
+        let (inst, _) = generate(&mini_spec(seed));
+        let expected = inst.active_count();
+        for kind in ALL {
+            let mut s = kind.build(inst.dag.clone());
+            let r = simulate_event(
+                s.as_mut(),
+                &inst,
+                &EventSimConfig {
+                    processors: 8,
+                    prices: CostPrices::free(),
+                    audit: true,
+                    space_budget: None,
+                },
+            );
+            assert_eq!(r.executed, expected, "{kind:?} seed {seed}");
+        }
+    }
+}
+
+/// Makespans (without overhead) are consistent: every scheduler is greedy,
+/// so all makespans are within a factor 2 of exact greedy (standard greedy
+/// bound), and LBL improves monotonically toward exact as k grows.
+#[test]
+fn makespan_sanity_orderings() {
+    let (inst, _) = generate(&mini_spec(7));
+    let cfg = EventSimConfig {
+        processors: 8,
+        prices: CostPrices::free(),
+        audit: false,
+        space_budget: None,
+    };
+    let run = |kind: SchedulerKind| {
+        let mut s = kind.build(inst.dag.clone());
+        simulate_event(s.as_mut(), &inst, &cfg).makespan
+    };
+    let exact = run(SchedulerKind::ExactGreedy);
+    let lb = run(SchedulerKind::LevelBased);
+    let lbl5 = run(SchedulerKind::Lookahead(5));
+    let lbl50 = run(SchedulerKind::Lookahead(50));
+    let lbx = run(SchedulerKind::LogicBlox);
+    assert!(lb >= exact * 0.99, "LB cannot beat exact greedy by much");
+    assert!(lbl5 <= lb * 1.01, "look-ahead should not hurt");
+    assert!(lbl50 <= lbl5 * 1.05, "deeper look-ahead at least as good");
+    // Greedy 2-approximation territory: everything within 2x + eps of exact.
+    for (name, m) in [("LB", lb), ("LBL5", lbl5), ("LBX", lbx)] {
+        assert!(
+            m <= exact * 2.2 + 1.0,
+            "{name} makespan {m} too far above exact {exact}"
+        );
+    }
+}
+
+/// Scheduling overhead ordering on a shallow-wide instance (the Table III
+/// headline), at default prices.
+#[test]
+fn overhead_ordering_on_shallow_wide() {
+    let spec = TraceSpec {
+        name: "wide",
+        id: 91,
+        seed: 5,
+        nodes: 31_000,
+        edges: 24_000,
+        initial: 10_000,
+        active: 11_000,
+        levels: 4,
+        classes: vec![CompClass {
+            count: 10_000,
+            depth: 3,
+            width: 1,
+            dirty: true,
+        }],
+        second_parent: 0.2,
+        comp_scale_sigma: 0.0,
+        duration: datalog_sched::traces::durations::DurationModel::new(30e-6, 0.8),
+        paper: Default::default(),
+    };
+    let (inst, _) = generate(&spec);
+    let cfg = EventSimConfig {
+        processors: 8,
+        ..Default::default()
+    };
+    let overhead = |kind: SchedulerKind| {
+        let mut s = kind.build(inst.dag.clone());
+        simulate_event(s.as_mut(), &inst, &cfg).sched_overhead
+    };
+    let o_lb = overhead(SchedulerKind::LevelBased);
+    let o_hy = overhead(SchedulerKind::HybridBackground(1));
+    let o_lbx = overhead(SchedulerKind::LogicBlox);
+    assert!(
+        o_lb < o_hy && o_hy < o_lbx,
+        "expected LB ({o_lb}) < hybrid ({o_hy}) < LogicBlox ({o_lbx})"
+    );
+    assert!(
+        o_hy < 0.75 * o_lbx,
+        "hybrid must reduce the scan overhead substantially"
+    );
+}
+
+/// Trace format round-trips a full preset.
+#[test]
+fn trace_format_roundtrip_preset5() {
+    let (inst, _) = generate(&preset(5));
+    let before = trace_stats(&inst);
+    let t = JobTrace::from_instance("#5", &inst);
+    let back = JobTrace::from_json(&t.to_json())
+        .expect("json parses")
+        .to_instance()
+        .expect("instance rebuilds");
+    let after = trace_stats(&back);
+    assert_eq!(before, after);
+}
+
+/// All eleven presets generate with their Table I structural statistics
+/// exact and the active count within 6%.
+#[test]
+fn all_presets_match_table1() {
+    for spec in datalog_sched::traces::presets() {
+        // Full-scale generation is fast (< 1 s each), but keep the big
+        // shallow traces out of debug-mode CI time: structural exactness
+        // for those is covered by the release-mode table1 binary.
+        if spec.nodes > 100_000 {
+            continue;
+        }
+        let (inst, rep) = generate(&spec);
+        let st = trace_stats(&inst);
+        assert_eq!(st.nodes as u32, spec.nodes, "{}", spec.name);
+        assert_eq!(st.edges as u32, spec.edges, "{}", spec.name);
+        assert_eq!(st.initial_tasks as u32, spec.initial, "{}", spec.name);
+        assert_eq!(st.levels, spec.levels, "{}", spec.name);
+        let dev = (rep.achieved_active as f64 - spec.active as f64).abs() / spec.active as f64;
+        assert!(
+            dev <= 0.06,
+            "{}: active {} vs target {} ({:.1}%)",
+            spec.name,
+            rep.achieved_active,
+            spec.active,
+            dev * 100.0
+        );
+    }
+}
+
+/// The meta-scheduler bound (Theorem 10) on a generated trace.
+#[test]
+fn meta_bound_on_generated_trace() {
+    use datalog_sched::sched::{LevelBased, LogicBlox};
+    use datalog_sched::sim::{simulate_meta, MetaConfig};
+    let (inst, _) = generate(&mini_spec(11));
+    let base = EventSimConfig {
+        processors: 8,
+        prices: CostPrices::free(),
+        audit: false,
+        space_budget: None,
+    };
+    let ta = {
+        let mut a = LogicBlox::new(inst.dag.clone());
+        simulate_event(&mut a, &inst, &base).makespan
+    };
+    let tb = {
+        let mut b = LevelBased::new(inst.dag.clone());
+        simulate_event(&mut b, &inst, &base).makespan
+    };
+    let mut a = LogicBlox::new(inst.dag.clone());
+    let mut b = LevelBased::new(inst.dag.clone());
+    let r = simulate_meta(
+        &mut a,
+        &mut b,
+        &inst,
+        &MetaConfig {
+            processors: 8,
+            budget: usize::MAX / 4,
+            base,
+        },
+    );
+    assert!(r.makespan <= 2.0 * ta.min(tb) + 1e-9);
+}
