@@ -1,0 +1,71 @@
+//! Criterion check that observability is free when off: drive the same
+//! scheduler over the same instance plain, wrapped in [`Observed`] with
+//! tracing *disabled*, and wrapped with tracing *enabled*.
+//!
+//! The disabled-wrapped case must sit on top of the plain case — the
+//! wrapper then costs three relaxed atomic adds per protocol call plus
+//! one relaxed load per skipped emit site. The enabled case shows the
+//! real price of recording (buffer pushes, gauge sampling), which only
+//! the `dlsched trace` path ever pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incr_obs::trace;
+use incr_sched::{Instance, Observed, Scheduler, SchedulerKind};
+use incr_traces::{generate, preset};
+use std::collections::VecDeque;
+
+/// Same in-memory environment as `sched_overhead`: 8 in-flight slots.
+fn drive(s: &mut dyn Scheduler, inst: &Instance) -> usize {
+    s.start(&inst.initial_active);
+    let mut in_flight: VecDeque<incr_dag::NodeId> = VecDeque::new();
+    let mut executed = 0;
+    loop {
+        while in_flight.len() < 8 {
+            match s.pop_ready() {
+                Some(t) => in_flight.push_back(t),
+                None => break,
+            }
+        }
+        let Some(t) = in_flight.pop_front() else { break };
+        executed += 1;
+        s.on_completed(t, &inst.fired[t.index()]);
+    }
+    executed
+}
+
+fn bench_observed(c: &mut Criterion) {
+    let spec = preset(5); // 1.7k nodes, ~300 active
+    let (inst, _) = generate(&spec);
+    let mut g = c.benchmark_group("observed_trace5");
+    let kind = SchedulerKind::Hybrid;
+
+    trace::disable();
+    g.bench_function(BenchmarkId::from_parameter("plain"), |b| {
+        let mut s = kind.build(inst.dag.clone());
+        b.iter(|| {
+            let n = drive(s.as_mut(), &inst);
+            std::hint::black_box(n)
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("observed, tracing off"), |b| {
+        let mut s = Observed::new(kind.build(inst.dag.clone()));
+        b.iter(|| {
+            let n = drive(&mut s, &inst);
+            std::hint::black_box(n)
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("observed, tracing on"), |b| {
+        let mut s = Observed::new(kind.build(inst.dag.clone()));
+        b.iter(|| {
+            trace::enable();
+            let n = drive(&mut s, &inst);
+            trace::disable();
+            trace::clear();
+            std::hint::black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_observed);
+criterion_main!(benches);

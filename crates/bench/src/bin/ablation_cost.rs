@@ -11,22 +11,25 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin ablation_cost`
 
-use incr_bench::{measure, Table, PAPER_PROCESSORS};
+use incr_bench::{measure, ResultsWriter, Table, PAPER_PROCESSORS};
 use incr_dag::IntervalList;
+use incr_obs::json::obj;
 use incr_sched::{CostPrices, SchedulerKind};
 use incr_sim::EventSimConfig;
 use incr_traces::adversarial::{hundred_x, interval_blowup, lbx_cubic};
 use incr_traces::{generate, preset};
 
 fn main() {
-    theorem2_scaling();
-    cubic_blowup();
-    interval_space();
-    price_sensitivity();
+    let mut results = ResultsWriter::new("ablation_cost", PAPER_PROCESSORS);
+    theorem2_scaling(&mut results);
+    cubic_blowup(&mut results);
+    interval_space(&mut results);
+    price_sensitivity(&mut results);
+    results.write_default();
 }
 
 /// LevelBased cost ops vs n and L.
-fn theorem2_scaling() {
+fn theorem2_scaling(results: &mut ResultsWriter) {
     println!("Theorem 2: LevelBased scheduling operations scale as O(n + L)\n");
     let mut t = Table::new(&["n (active)", "L", "bucket_ops", "ops/(n+L)"]);
     for &(n, l) in &[(1_000u32, 2u32), (10_000, 2), (100_000, 2), (10_000, 64), (10_000, 512)] {
@@ -62,6 +65,12 @@ fn theorem2_scaling() {
         );
         let ops = m.result.cost.bucket_ops;
         let n_actual = m.result.executed as u64;
+        results.push_row(obj([
+            ("trace", format!("theorem2(n={n},L={l})").into()),
+            ("scheduler", m.label.as_str().into()),
+            ("bucket_ops", ops.into()),
+            ("ops_per_n_plus_l", (ops as f64 / (n_actual + l as u64) as f64).into()),
+        ]));
         t.row(vec![
             n_actual.to_string(),
             l.to_string(),
@@ -74,7 +83,7 @@ fn theorem2_scaling() {
 }
 
 /// LogicBlox Θ(n³) vs LevelBased O(n + L) on the adversarial chain-fan.
-fn cubic_blowup() {
+fn cubic_blowup(results: &mut ResultsWriter) {
     println!("§II-C worst case: LogicBlox scan cost on the chain-fan instance\n");
     let mut t = Table::new(&[
         "n",
@@ -105,6 +114,12 @@ fn cubic_blowup() {
             );
         }
         prev = Some((n, q));
+        results.push_row(obj([
+            ("trace", format!("lbx_cubic({n})").into()),
+            ("scheduler", "LogicBlox vs LevelBased".into()),
+            ("lbx_ancestor_queries", q.into()),
+            ("lb_bucket_ops", b.into()),
+        ]));
         t.row(vec![
             n.to_string(),
             q.to_string(),
@@ -118,7 +133,7 @@ fn cubic_blowup() {
 }
 
 /// Interval-list Θ(V²) space blow-up.
-fn interval_space() {
+fn interval_space(results: &mut ResultsWriter) {
     println!("§II-C worst case: interval-list space on the fragmentation crown\n");
     let mut t = Table::new(&["V", "intervals", "intervals/V²"]);
     for &k in &[64u32, 128, 256, 512] {
@@ -126,6 +141,13 @@ fn interval_space() {
         let il = IntervalList::build(&dag);
         let v = dag.node_count() as f64;
         let i = il.total_intervals();
+        results.push_row(obj([
+            ("trace", format!("interval_blowup({k})").into()),
+            ("scheduler", "IntervalList".into()),
+            ("nodes", dag.node_count().into()),
+            ("intervals", i.into()),
+            ("intervals_per_v2", (i as f64 / (v * v)).into()),
+        ]));
         t.row(vec![
             dag.node_count().to_string(),
             i.to_string(),
@@ -137,7 +159,7 @@ fn interval_space() {
 }
 
 /// Table III orderings must be stable under re-pricing.
-fn price_sensitivity() {
+fn price_sensitivity(results: &mut ResultsWriter) {
     println!("Price-vector sensitivity: Table III orderings at 0.5x / 1x / 2x\n");
     let mut t = Table::new(&[
         "instance",
@@ -179,6 +201,15 @@ fn price_sensitivity() {
                 hy.result.sched_overhead,
             );
             let ok = o_lb < o_hy && o_hy < o_lbx;
+            results.push_row(obj([
+                ("trace", (*name).into()),
+                ("scheduler", "price_sensitivity".into()),
+                ("price_scale", scale.into()),
+                ("lbx_overhead_s", o_lbx.into()),
+                ("lb_overhead_s", o_lb.into()),
+                ("hybrid_overhead_s", o_hy.into()),
+                ("ordering_ok", ok.into()),
+            ]));
             t.row(vec![
                 name.to_string(),
                 format!("{scale}x"),

@@ -13,12 +13,13 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin ablation_hybrid`
 
-use incr_bench::{fmt_secs, measure, Table, PAPER_PROCESSORS};
+use incr_bench::{fmt_secs, measure, ResultsWriter, Table, PAPER_PROCESSORS};
 use incr_sched::SchedulerKind;
 use incr_sim::EventSimConfig;
 use incr_traces::{generate, preset};
 
 fn main() {
+    let mut results = ResultsWriter::new("ablation_hybrid", PAPER_PROCESSORS);
     let cfg = EventSimConfig {
         processors: PAPER_PROCESSORS,
         ..Default::default()
@@ -40,6 +41,7 @@ fn main() {
     for (name, inst) in [("#6 (1/4 scale, shallow-wide)", &inst6), ("#4 (deep)", &inst4)] {
         println!("hybrid interleave sweep on {name}\n");
         let lbx = measure(SchedulerKind::LogicBlox, inst, &cfg);
+        results.push_measurement(name, &lbx);
         println!(
             "LogicBlox reference: makespan {}, overhead {}",
             fmt_secs(lbx.result.makespan),
@@ -54,6 +56,7 @@ fn main() {
             SchedulerKind::HybridBackground(64),
         ] {
             let m = measure(kind, inst, &cfg);
+            results.push_measurement(name, &m);
             overheads.push(m.result.sched_overhead);
             t.row(vec![
                 m.label.clone(),
@@ -72,4 +75,5 @@ fn main() {
         );
     }
     println!("slice 0 minimizes overhead; slice 1 reproduces the paper's parallel deployment.");
+    results.write_default();
 }

@@ -13,7 +13,8 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin figure2 [max_L]`
 
-use incr_bench::Table;
+use incr_bench::{ResultsWriter, Table};
+use incr_obs::json::obj;
 use incr_sched::SchedulerKind;
 use incr_sim::{simulate_step, StepSimConfig};
 use incr_traces::adversarial::figure2;
@@ -40,6 +41,7 @@ fn main() {
         "Θ(L) pred",
     ]);
     let mut ratios = Vec::new();
+    let mut results = ResultsWriter::new("figure2", 0);
     for &l in &ls {
         let inst = figure2(l);
         // The construction assumes M <= P (Theorem 9): every k_i can have
@@ -58,6 +60,19 @@ fn main() {
         let exact = run(SchedulerKind::ExactGreedy);
         let ratio = lb as f64 / exact as f64;
         ratios.push((l, ratio));
+        for (sched, makespan) in [
+            ("LevelBased", lb),
+            ("LBL(k=5)", lbl),
+            ("ExactGreedy", exact),
+        ] {
+            results.push_row(obj([
+                ("trace", format!("figure2({l})").into()),
+                ("scheduler", sched.into()),
+                ("processors", p.into()),
+                ("makespan_steps", makespan.into()),
+                ("lb_over_exact", ratio.into()),
+            ]));
+        }
         t.row(vec![
             l.to_string(),
             p.to_string(),
@@ -103,4 +118,5 @@ fn main() {
         println!("  L={l:>4}: makespan {m:>7}  bound {bound:>7}  ok={}", m <= bound);
         assert!(m <= bound, "Lemma 7 violated at L={l}");
     }
+    results.write_default();
 }

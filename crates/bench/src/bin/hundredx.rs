@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin hundredx [n]`
 
-use incr_bench::{fmt_secs, measure, Table, PAPER_PROCESSORS};
+use incr_bench::{fmt_secs, measure, ResultsWriter, Table, PAPER_PROCESSORS};
 use incr_sched::SchedulerKind;
 use incr_sim::EventSimConfig;
 use incr_traces::adversarial::hundred_x;
@@ -28,6 +28,7 @@ fn main() {
 
     println!("the \"100x\" synthetic instance: n = {n} independent point updates\n");
     let mut t = Table::new(&["scheduler", "makespan", "overhead", "speedup vs LogicBlox"]);
+    let mut results = ResultsWriter::new("hundredx", PAPER_PROCESSORS);
     let lbx = measure(SchedulerKind::LogicBlox, &inst, &cfg);
     for kind in [
         SchedulerKind::LogicBlox,
@@ -36,6 +37,7 @@ fn main() {
         SchedulerKind::HybridBackground(1),
     ] {
         let m = measure(kind, &inst, &cfg);
+        results.push_measurement(&format!("hundred_x({n})"), &m);
         t.row(vec![
             m.label.clone(),
             fmt_secs(m.result.makespan),
@@ -48,6 +50,7 @@ fn main() {
     let hy = measure(SchedulerKind::Hybrid, &inst, &cfg);
     let speedup = lbx.result.makespan / hy.result.makespan;
     println!("hybrid speedup over LogicBlox: {speedup:.0}x");
+    results.write_default();
     assert!(
         speedup >= 100.0,
         "the anecdote instance should show >= 100x (got {speedup:.0}x); raise n"

@@ -8,7 +8,8 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin table1 [max_id]`
 
-use incr_bench::Table;
+use incr_bench::{ResultsWriter, Table};
+use incr_obs::json::obj;
 use incr_traces::{generate, presets, trace_stats};
 
 fn main() {
@@ -21,6 +22,7 @@ fn main() {
     let mut t = Table::new(&[
         "trace", "nodes", "edges", "initial", "levels", "active", "(paper)", "dev",
     ]);
+    let mut results = ResultsWriter::new("table1", 0);
     for spec in presets().into_iter().filter(|s| s.id <= max_id) {
         let t0 = std::time::Instant::now();
         let (inst, rep) = generate(&spec);
@@ -44,6 +46,18 @@ fn main() {
             spec.active.to_string(),
             format!("{dev:+.1}%"),
         ]);
+        results.push_row(obj([
+            ("trace", spec.name.into()),
+            ("scheduler", "-".into()),
+            ("nodes", st.nodes.into()),
+            ("edges", st.edges.into()),
+            ("initial_tasks", st.initial_tasks.into()),
+            ("levels", st.levels.into()),
+            ("active_jobs", st.active_jobs.into()),
+            ("paper_active", spec.active.into()),
+            ("active_deviation_pct", dev.into()),
+            ("generate_seconds", t0.elapsed().as_secs_f64().into()),
+        ]));
         eprintln!(
             "generated {} in {:.2}s (fire threshold {:.4}, active {})",
             spec.name,
@@ -54,4 +68,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("nodes/edges/initial/levels are generator-exact; 'active' is calibrated.");
+    results.write_default();
 }

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin table2 [trace_ids...]`
 
-use incr_bench::{measure, Table, PAPER_PROCESSORS};
+use incr_bench::{measure, ResultsWriter, Table, PAPER_PROCESSORS};
 use incr_sched::SchedulerKind;
 use incr_sim::EventSimConfig;
 use incr_traces::{generate, preset};
@@ -49,12 +49,14 @@ fn main() {
     let mut paper_rows = Table::new(&[
         "trace", "LogicBlox", "LevelBased", "LBL(5)", "LBL(10)", "LBL(15)", "LBL(20)",
     ]);
+    let mut results = ResultsWriter::new("table2", PAPER_PROCESSORS);
     for id in ids {
         let spec = preset(id);
         let (inst, _) = generate(&spec);
         let mut cells = vec![spec.name.to_string()];
         for kind in lineup {
             let m = measure(kind, &inst, &cfg);
+            results.push_measurement(spec.name, &m);
             cells.push(format!("{:.2}", m.result.makespan));
             eprintln!(
                 "{} {:<12} makespan {:>10.2}s overhead {:>10.6}s (wall {:.2}s)",
@@ -80,4 +82,5 @@ fn main() {
     }
     println!("measured:\n{}", table.render());
     println!("paper:\n{}", paper_rows.render());
+    results.write_default();
 }

@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p incr-bench --bin table3 [trace_ids...]`
 
-use incr_bench::{fmt_secs, measure, Table, PAPER_PROCESSORS};
+use incr_bench::{fmt_secs, measure, ResultsWriter, Table, PAPER_PROCESSORS};
 use incr_sched::SchedulerKind;
 use incr_sim::EventSimConfig;
 use incr_traces::{generate, preset};
@@ -46,12 +46,14 @@ fn main() {
     );
     let mut table = Table::new(&["trace", "LogicBlox", "LevelBased", "Hybrid"]);
     let mut paper = Table::new(&["trace", "LogicBlox", "LevelBased", "Hybrid"]);
+    let mut results = ResultsWriter::new("table3", PAPER_PROCESSORS);
     for id in ids {
         let spec = preset(id);
         let (inst, _) = generate(&spec);
         let mut cells = vec![spec.name.to_string()];
         for kind in lineup {
             let m = measure(kind, &inst, &cfg);
+            results.push_measurement(spec.name, &m);
             cells.push(format!(
                 "({}, {})",
                 fmt_secs(m.result.makespan),
@@ -82,4 +84,5 @@ fn main() {
     }
     println!("measured:\n{}", table.render());
     println!("paper:\n{}", paper.render());
+    results.write_default();
 }

@@ -18,6 +18,10 @@
 //! This library holds the shared measurement helpers so every binary
 //! reports the same quantities the same way.
 
+pub mod results;
+
+pub use results::{measurement_row, peak_gauges, ResultsWriter, SCHEMA_VERSION};
+
 use incr_sched::{Instance, SchedulerKind};
 use incr_sim::{simulate_event, EventSimConfig, SimResult};
 use std::time::Instant;

@@ -1,0 +1,186 @@
+//! Machine-readable bench results: every table/figure binary writes a
+//! versioned `results/<bin>.json` next to its human-readable table, so
+//! runs can be diffed, plotted and regression-checked without scraping
+//! stdout.
+//!
+//! File layout (schema v1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bin": "table3",
+//!   "processors": 8,
+//!   "rows": [
+//!     {
+//!       "trace": "#6", "scheduler": "Hybrid",
+//!       "makespan_s": 1.23, "sched_overhead_s": 0.04,
+//!       "executed": 50000, "utilization": 0.87,
+//!       "wall_seconds": 0.011, "precompute_seconds": 0.002,
+//!       "peak_space_bytes": 400000, "over_budget": false,
+//!       "overhead_ops": { "bucket_ops": 1, ... , "total_ops": 9 },
+//!       "peak_gauges": { "lb.frontier_bucket_depth": 17, ... }
+//!     }
+//!   ],
+//!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//! }
+//! ```
+
+use crate::Measurement;
+use incr_obs::json::obj;
+use incr_obs::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump on any incompatible change to the row layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default output directory, relative to the working directory.
+pub const RESULTS_DIR: &str = "results";
+
+/// Accumulates rows for one binary's `results/<bin>.json`.
+pub struct ResultsWriter {
+    bin: String,
+    processors: usize,
+    rows: Vec<Json>,
+}
+
+impl ResultsWriter {
+    /// `bin` names the experiment (and the output file); `processors` is
+    /// the common simulated processor count (0 when it varies per row or
+    /// the experiment does not simulate).
+    pub fn new(bin: &str, processors: usize) -> ResultsWriter {
+        ResultsWriter {
+            bin: bin.to_string(),
+            processors,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append the standard row for one scheduler-on-trace measurement.
+    pub fn push_measurement(&mut self, trace: &str, m: &Measurement) {
+        let row = measurement_row(trace, self.processors, m);
+        self.rows.push(row);
+    }
+
+    /// Append a custom row (experiments with extra columns build their
+    /// own objects; keep `trace` and `scheduler` fields for uniformity).
+    pub fn push_row(&mut self, row: Json) {
+        self.rows.push(row);
+    }
+
+    /// The full document, including a snapshot of the global metrics
+    /// registry (peak gauges, protocol counters) at call time.
+    pub fn to_value(&self) -> Json {
+        obj([
+            ("schema_version", SCHEMA_VERSION.into()),
+            ("bin", self.bin.as_str().into()),
+            ("processors", self.processors.into()),
+            ("rows", Json::Arr(self.rows.clone())),
+            ("metrics", incr_obs::registry().snapshot()),
+        ])
+    }
+
+    /// Write `dir/<bin>.json`, creating `dir` if needed.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.bin));
+        std::fs::write(&path, self.to_value().to_json())?;
+        Ok(path)
+    }
+
+    /// Write to the default `results/` directory and report the path on
+    /// stdout (non-fatal on failure: the human-readable table already
+    /// went out, so a read-only filesystem only costs the JSON copy).
+    pub fn write_default(&self) {
+        match self.write_to(Path::new(RESULTS_DIR)) {
+            Ok(path) => println!("results: {}", path.display()),
+            Err(e) => eprintln!("results: cannot write {RESULTS_DIR}/{}.json: {e}", self.bin),
+        }
+    }
+}
+
+/// The standard per-measurement row (see the module docs for the schema).
+pub fn measurement_row(trace: &str, processors: usize, m: &Measurement) -> Json {
+    obj([
+        ("trace", trace.into()),
+        ("scheduler", m.label.as_str().into()),
+        ("makespan_s", m.result.makespan.into()),
+        ("sched_overhead_s", m.result.sched_overhead.into()),
+        ("executed", m.result.executed.into()),
+        ("utilization", m.result.utilization(processors).into()),
+        ("wall_seconds", m.wall_seconds.into()),
+        ("precompute_seconds", m.precompute_seconds.into()),
+        ("peak_space_bytes", m.result.peak_space.into()),
+        ("precompute_space_bytes", m.result.precompute_space.into()),
+        ("over_budget", m.result.over_budget.into()),
+        ("overhead_ops", m.result.cost.to_value()),
+        ("peak_gauges", peak_gauges()),
+    ])
+}
+
+/// Current peak of every gauge in the global registry, as one flat
+/// object — queue depths, level frontier, interval-list size at their
+/// high-water marks.
+pub fn peak_gauges() -> Json {
+    let snap = incr_obs::registry().snapshot();
+    let mut peaks: Vec<(String, Json)> = Vec::new();
+    if let Some(gauges) = snap.get("gauges").and_then(Json::as_obj) {
+        for (name, g) in gauges {
+            if let Some(p) = g.get("peak") {
+                peaks.push((name.clone(), p.clone()));
+            }
+        }
+    }
+    Json::Obj(peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use incr_dag::{DagBuilder, NodeId};
+    use incr_sched::{Instance, SchedulerKind};
+    use incr_sim::EventSimConfig;
+    use std::sync::Arc;
+
+    fn tiny_measurement() -> Measurement {
+        let mut b = DagBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let dag = Arc::new(b.build().unwrap());
+        let mut inst = Instance::unit(dag, vec![NodeId(0)]);
+        inst.fired[0] = vec![NodeId(1)];
+        measure(SchedulerKind::Hybrid, &inst, &EventSimConfig::default())
+    }
+
+    #[test]
+    fn document_round_trips_and_carries_schema() {
+        let mut w = ResultsWriter::new("unit_test", 8);
+        w.push_measurement("#0", &tiny_measurement());
+        let doc = Json::parse(&w.to_value().to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("bin").unwrap().as_str(), Some("unit_test"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.get("scheduler").unwrap().as_str(), Some("Hybrid"));
+        assert!(row.get("makespan_s").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(row.get("executed").unwrap().as_u64(), Some(2));
+        let ops = row.get("overhead_ops").unwrap();
+        assert!(ops.get("total_ops").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("peak_gauges").unwrap().as_obj().is_some());
+    }
+
+    #[test]
+    fn writes_a_parseable_file() {
+        let dir = std::env::temp_dir().join("incr_bench_results_test");
+        let mut w = ResultsWriter::new("write_test", 8);
+        w.push_measurement("#0", &tiny_measurement());
+        let path = w.write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -61,6 +61,56 @@ impl CostMeter {
             + self.messages as f64 * p.message
     }
 
+    /// A point-in-time copy of the counters. `CostMeter` is `Copy`, so
+    /// this is a plain read — the name exists for call sites that pair it
+    /// with [`CostMeter::delta`] to attribute cost to a phase:
+    ///
+    /// ```
+    /// # use incr_sched::cost::CostMeter;
+    /// # let meter = CostMeter { pops: 3, ..CostMeter::default() };
+    /// let before = meter.snapshot();
+    /// // ... scheduler does work, meter advances ...
+    /// let spent = meter.snapshot().delta(&before);
+    /// # assert_eq!(spent.pops, 0);
+    /// ```
+    pub fn snapshot(&self) -> CostMeter {
+        *self
+    }
+
+    /// Counters accumulated since `earlier` (component-wise saturating
+    /// difference, so a meter reset between the two snapshots yields
+    /// zeros rather than wrapping).
+    pub fn delta(&self, earlier: &CostMeter) -> CostMeter {
+        CostMeter {
+            activations: self.activations.saturating_sub(earlier.activations),
+            completions: self.completions.saturating_sub(earlier.completions),
+            pops: self.pops.saturating_sub(earlier.pops),
+            bucket_ops: self.bucket_ops.saturating_sub(earlier.bucket_ops),
+            scan_steps: self.scan_steps.saturating_sub(earlier.scan_steps),
+            ancestor_queries: self.ancestor_queries.saturating_sub(earlier.ancestor_queries),
+            interval_probes: self.interval_probes.saturating_sub(earlier.interval_probes),
+            bfs_steps: self.bfs_steps.saturating_sub(earlier.bfs_steps),
+            messages: self.messages.saturating_sub(earlier.messages),
+        }
+    }
+
+    /// The counters as a JSON object (the `overhead_ops` block of the
+    /// machine-readable bench results).
+    pub fn to_value(&self) -> incr_obs::Json {
+        incr_obs::json::obj([
+            ("activations", self.activations.into()),
+            ("completions", self.completions.into()),
+            ("pops", self.pops.into()),
+            ("bucket_ops", self.bucket_ops.into()),
+            ("scan_steps", self.scan_steps.into()),
+            ("ancestor_queries", self.ancestor_queries.into()),
+            ("interval_probes", self.interval_probes.into()),
+            ("bfs_steps", self.bfs_steps.into()),
+            ("messages", self.messages.into()),
+            ("total_ops", self.total_ops().into()),
+        ])
+    }
+
     /// Component-wise sum (used by the Hybrid scheduler to aggregate its
     /// two sub-schedulers).
     pub fn plus(&self, o: &CostMeter) -> CostMeter {
@@ -194,6 +244,58 @@ mod tests {
         };
         assert_eq!(m.weighted(&CostPrices::free()), 0.0);
         assert_eq!(m.total_ops(), 45);
+    }
+
+    #[test]
+    fn snapshot_then_delta_attributes_cost_to_a_phase() {
+        let mut m = CostMeter {
+            pops: 10,
+            scan_steps: 5,
+            ..CostMeter::default()
+        };
+        let before = m.snapshot();
+        m.pops += 3;
+        m.messages += 7;
+        let spent = m.snapshot().delta(&before);
+        assert_eq!(spent.pops, 3);
+        assert_eq!(spent.messages, 7);
+        assert_eq!(spent.scan_steps, 0);
+        assert_eq!(spent.total_ops(), 10);
+    }
+
+    #[test]
+    fn delta_saturates_after_reset() {
+        let before = CostMeter {
+            pops: 100,
+            ..CostMeter::default()
+        };
+        let after_reset = CostMeter {
+            pops: 2,
+            ..CostMeter::default()
+        };
+        assert_eq!(after_reset.delta(&before).pops, 0);
+    }
+
+    #[test]
+    fn to_value_exports_every_counter() {
+        let m = CostMeter {
+            activations: 1,
+            completions: 2,
+            pops: 3,
+            bucket_ops: 4,
+            scan_steps: 5,
+            ancestor_queries: 6,
+            interval_probes: 7,
+            bfs_steps: 8,
+            messages: 9,
+        };
+        let v = m.to_value();
+        assert_eq!(v.get("ancestor_queries").unwrap().as_u64(), Some(6));
+        assert_eq!(v.get("total_ops").unwrap().as_u64(), Some(45));
+        // Round-trips through the serializer.
+        let text = v.to_json();
+        let back = incr_obs::Json::parse(&text).unwrap();
+        assert_eq!(back.get("messages").unwrap().as_u64(), Some(9));
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl<A: Scheduler, B: Scheduler> Scheduler for Duo<A, B> {
         self.primary.on_external_dispatch(v);
         self.secondary.on_external_dispatch(v);
     }
+
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let mut g = self.primary.gauges();
+        g.extend(self.secondary.gauges());
+        g
+    }
 }
 
 #[cfg(test)]

@@ -136,6 +136,12 @@ impl Scheduler for Hybrid {
         self.lb.on_external_dispatch(v);
         self.lbx.on_external_dispatch(v);
     }
+
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let mut g = self.lb.gauges();
+        g.extend(self.lbx.gauges());
+        g
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,18 @@ impl Scheduler for LevelBased {
             self.dispatch(v);
         }
     }
+
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let frontier_depth = self
+            .buckets
+            .get(self.cur as usize)
+            .map_or(0, |b| b.len() as i64);
+        vec![
+            ("lb.level_frontier", self.cur as i64),
+            ("lb.frontier_bucket_depth", frontier_depth),
+            ("lb.tracked_active", self.state.active_unexecuted() as i64),
+        ]
+    }
 }
 
 #[cfg(test)]

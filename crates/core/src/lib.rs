@@ -55,11 +55,13 @@ pub mod instance;
 pub mod levelbased;
 pub mod logicblox;
 pub mod lookahead;
+pub mod obs;
 pub mod scheduler;
 pub mod signal;
 
 pub use cost::{CostMeter, CostPrices};
 pub use duo::Duo;
+pub use obs::Observed;
 pub use hybrid::{Hybrid, HybridConfig};
 pub use instance::{Instance, TaskShape};
 pub use levelbased::LevelBased;

@@ -62,6 +62,9 @@ pub struct LogicBlox {
     dirty: bool,
     cost: CostMeter,
     peak_tracked: usize,
+    /// Cached `il.total_intervals()` — the structure is immutable after
+    /// build, and the gauge is sampled on hot paths.
+    interval_count: usize,
 }
 
 impl LogicBlox {
@@ -71,11 +74,13 @@ impl LogicBlox {
 
     pub fn with_mode(dag: Arc<Dag>, mode: ScanMode) -> Self {
         let il = IntervalList::build(&dag);
+        let interval_count = il.total_intervals();
         let n = dag.node_count();
         let l = dag.num_levels() as usize;
         LogicBlox {
             dag,
             il,
+            interval_count,
             state: StateTable::new(n),
             mode,
             active_queue: VecDeque::new(),
@@ -258,7 +263,7 @@ impl LogicBlox {
 
     /// Total intervals held by the preprocessing structure.
     pub fn interval_count(&self) -> usize {
-        self.il.total_intervals()
+        self.interval_count
     }
 }
 
@@ -332,6 +337,15 @@ impl Scheduler for LogicBlox {
             // the blocker entry stays until completion.
             self.state.dispatch(v);
         }
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        vec![
+            ("lbx.active_queue_depth", self.active_queue.len() as i64),
+            ("lbx.ready_depth", self.ready.len() as i64),
+            ("lbx.blockers", self.blocker_count as i64),
+            ("lbx.interval_list_size", self.interval_count as i64),
+        ]
     }
 }
 

@@ -204,6 +204,13 @@ impl Scheduler for LevelBasedLookahead {
         self.base.on_external_dispatch(v);
         self.lookahead_exhausted = false;
     }
+
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let mut g = self.base.gauges();
+        g.push(("lbl.stash_depth", self.stash.len() as i64));
+        g.push(("lbl.bfs_visits", self.base.cost.bfs_steps as i64));
+        g
+    }
 }
 
 impl LevelBasedLookahead {

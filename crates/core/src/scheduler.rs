@@ -72,6 +72,14 @@ pub trait Scheduler: Send {
     /// update bookkeeping so this scheduler never offers `v` itself. The
     /// task still blocks descendants until its completion is reported.
     fn on_external_dispatch(&mut self, v: NodeId);
+
+    /// Named instantaneous levels worth graphing — queue depths, the
+    /// level frontier, interval-list size. Sampled by
+    /// [`crate::obs::Observed`] after each protocol call when tracing is
+    /// on; schedulers with nothing interesting inherit the empty default.
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        Vec::new()
+    }
 }
 
 /// Shared per-node state table with the bookkeeping every scheduler needs.

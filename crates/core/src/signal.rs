@@ -156,6 +156,13 @@ impl Scheduler for SignalPropagation {
             + self.state.bytes()
     }
 
+    fn gauges(&self) -> Vec<(&'static str, i64)> {
+        vec![
+            ("sig.ready_depth", self.ready.len() as i64),
+            ("sig.relay_depth", self.relay.len() as i64),
+        ]
+    }
+
     fn precompute_bytes(&self) -> usize {
         0
     }

@@ -17,6 +17,7 @@ use crate::stratify::{stratify, Stratification, StratifyError};
 use crate::taskgraph::{NodeKind, TaskGraph};
 use crate::value::{Tuple, Value};
 use incr_dag::{Dag, NodeId};
+use incr_obs::trace;
 use incr_sched::{CostMeter, Scheduler};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -254,11 +255,21 @@ impl IncrementalEngine {
         let mut pred_changes: HashMap<String, (usize, usize)> = HashMap::new();
 
         scheduler.start(initial);
-        while let Some(node) = {
-            
-            scheduler.pop_ready()
-        } {
+        while let Some(node) = scheduler.pop_ready() {
             order.push(node);
+            // Per-stratum task span: the node's level in the task DAG is
+            // its stratum, so one trace row per predicate-clique
+            // evaluation, labelled with what was evaluated.
+            let task_span = trace::enabled().then(|| {
+                trace::span_with(
+                    "datalog",
+                    format!("eval {}", self.graph.label(node, &self.db)),
+                    vec![
+                        ("node", (node.0 as u64).into()),
+                        ("stratum", (self.graph.dag.level(node) as u64).into()),
+                    ],
+                )
+            });
             // Execute the task: produce this node's output deltas.
             let out: HashMap<PredId, Delta> = if let Some(out) = preset.remove(&node) {
                 out
@@ -308,6 +319,13 @@ impl IncrementalEngine {
                     fired.push(child);
                     edges_fired += 1;
                 }
+            }
+            if let Some(s) = task_span {
+                let changed: usize = out.values().map(Delta::len).sum();
+                s.end_args(vec![
+                    ("changed_tuples", changed.into()),
+                    ("fired", fired.len().into()),
+                ]);
             }
             scheduler.on_completed(node, &fired);
         }

@@ -22,6 +22,7 @@
 use crate::eval::{eval_rule, seminaive_scc, CRule, Pin, PinMode, Rels};
 use crate::rel::{Database, PredId, Relation};
 use crate::value::Tuple;
+use incr_obs::trace;
 use std::collections::{HashMap, HashSet};
 
 /// Net change to one predicate's extent.
@@ -90,6 +91,7 @@ pub fn update_scc(
         .collect();
 
     // ---- Phase 1: overdeletion against the old view. ----
+    let dred_overdelete = trace::span("datalog", "dred.overdelete");
     let mut deleted: HashMap<PredId, HashSet<Tuple>> =
         scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
     {
@@ -177,11 +179,14 @@ pub fn update_scc(
             db.rel_mut(p).remove(t);
         }
     }
+    let overdeleted: usize = deleted.values().map(|s| s.len()).sum();
+    dred_overdelete.end_args(vec![("overdeleted", (overdeleted as u64).into())]);
 
     // ---- Phase 2: rederive overdeleted tuples with other derivations. ----
     // Evaluate each clique rule over the *current* state and reinstate any
     // head that was overdeleted; iterate to fixpoint via the semi-naive
     // seed below (rederived tuples count as insertions).
+    let dred_rederive = trace::span("datalog", "dred.rederive");
     let mut seed: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
     {
         let mut rederived: Vec<(PredId, Tuple)> = Vec::new();
@@ -209,8 +214,11 @@ pub fn update_scc(
             }
         }
     }
+    let rederived_total: usize = seed.values().map(|s| s.len()).sum();
+    dred_rederive.end_args(vec![("rederived", (rederived_total as u64).into())]);
 
     // ---- Phase 3: insertions (added inputs + removed blockers). ----
+    let dred_insert = trace::span("datalog", "dred.insert");
     for rule in rules {
         let head = rule.head.pred;
         for (j, (atom, negated)) in rule.body.iter().enumerate() {
@@ -255,9 +263,11 @@ pub fn update_scc(
             }
         }
     }
+    let inserted_seed: usize = seed.values().map(|s| s.len()).sum::<usize>() - rederived_total;
     if !seed.is_empty() {
         seminaive_scc(db, rules, scc_preds, seed, false);
     }
+    dred_insert.end_args(vec![("seed_inserts", (inserted_seed as u64).into())]);
 
     // ---- Net output delta: exact old-vs-new diff. ----
     let mut out: HashMap<PredId, Delta> = HashMap::new();
@@ -290,6 +300,11 @@ pub fn reevaluate_scc(
     rules: &[CRule],
     scc_preds: &[PredId],
 ) -> HashMap<PredId, Delta> {
+    let _span = trace::span_with(
+        "datalog",
+        "clique.reevaluate",
+        vec![("preds", scc_preds.len().into())],
+    );
     let old_scc: HashMap<PredId, Relation> = scc_preds
         .iter()
         .map(|&p| (p, db.rel(p).clone()))

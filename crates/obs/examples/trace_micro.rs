@@ -1,0 +1,30 @@
+//! Throughput smoke for the trace pipeline: 100k span pairs through
+//! record → export → validate, with per-stage timings. Every stage must
+//! scale linearly in the event count; a superlinear stage shows up here
+//! immediately as seconds instead of milliseconds.
+
+use incr_obs::trace;
+
+fn main() {
+    trace::clear();
+    trace::enable();
+    let t0 = std::time::Instant::now();
+    for i in 0..100_000u64 {
+        let s = trace::span_with("t", "pop", vec![("n", i.into())]);
+        s.end_args(vec![("popped", i.into())]);
+    }
+    let push_time = t0.elapsed();
+    trace::disable();
+    let threads = trace::drain();
+    let n: usize = threads.iter().map(|t| t.events.len()).sum();
+    let t1 = std::time::Instant::now();
+    let text = incr_obs::export::chrome_trace_json(&threads);
+    let export_time = t1.elapsed();
+    let t2 = std::time::Instant::now();
+    let stats = incr_obs::export::validate_chrome_trace(&text).unwrap();
+    let validate_time = t2.elapsed();
+    println!("events {n}, spans {}", stats.spans);
+    println!("push     {push_time:?}");
+    println!("export   {export_time:?} ({} bytes)", text.len());
+    println!("validate {validate_time:?}");
+}

@@ -1,0 +1,343 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`) and
+//! flat JSONL, plus a structural validator used by tests and the CI smoke
+//! step.
+//!
+//! Real-thread events land under process 1 ("real time"); simulated-time
+//! events land under process 2 ("simulated time"), one thread per
+//! simulated lane. Loading the file in Perfetto therefore shows the
+//! simulated makespan and the real scheduler wall-clock side by side on a
+//! shared horizontal axis.
+
+use crate::json::{obj, Json};
+use crate::trace::{ArgValue, Event, Phase, ThreadEvents, Track, SIM_SCHED_LANE};
+
+/// Chrome pid for wall-clock events.
+pub const REAL_PID: u64 = 1;
+/// Chrome pid for simulated-time events.
+pub const SIM_PID: u64 = 2;
+
+fn phase_str(p: Phase) -> &'static str {
+    match p {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => "i",
+        Phase::Counter => "C",
+        Phase::Complete => "X",
+    }
+}
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|(k, v)| {
+                (
+                    k.to_string(),
+                    match v {
+                        ArgValue::Num(n) => Json::Num(*n),
+                        ArgValue::Str(s) => Json::Str(s.clone()),
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+fn event_json(e: &Event, shard_tid: u64) -> Json {
+    let (pid, tid) = match e.track {
+        Track::Real { .. } => (REAL_PID, shard_tid),
+        Track::Sim { lane } => (SIM_PID, lane as u64),
+    };
+    let mut fields: Vec<(String, Json)> = vec![
+        ("name".into(), Json::Str(e.name.to_string())),
+        ("cat".into(), Json::Str(e.cat.to_string())),
+        ("ph".into(), Json::Str(phase_str(e.phase).to_string())),
+        ("ts".into(), Json::Num(e.ts_us)),
+        ("pid".into(), pid.into()),
+        ("tid".into(), tid.into()),
+    ];
+    if e.phase == Phase::Complete {
+        fields.push(("dur".into(), Json::Num(e.dur_us)));
+    }
+    if e.phase == Phase::Instant {
+        // Thread-scoped instant marks.
+        fields.push(("s".into(), Json::Str("t".into())));
+    }
+    if !e.args.is_empty() {
+        fields.push(("args".into(), args_json(&e.args)));
+    }
+    Json::Obj(fields)
+}
+
+fn metadata_event(pid: u64, tid: u64, kind: &str, name: &str) -> Json {
+    obj([
+        ("name", kind.into()),
+        ("ph", "M".into()),
+        ("pid", pid.into()),
+        ("tid", tid.into()),
+        ("args", obj([("name", name.into())])),
+    ])
+}
+
+/// Build the Chrome trace-event document from drained thread buffers.
+pub fn chrome_trace(threads: &[ThreadEvents]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(metadata_event(REAL_PID, 0, "process_name", "real time"));
+    events.push(metadata_event(SIM_PID, 0, "process_name", "simulated time"));
+    let mut sim_lanes: Vec<u32> = Vec::new();
+    for t in threads {
+        if t.events
+            .iter()
+            .any(|e| matches!(e.track, Track::Real { .. }))
+        {
+            let name = t
+                .thread_name
+                .clone()
+                .unwrap_or_else(|| format!("thread {}", t.tid));
+            events.push(metadata_event(REAL_PID, t.tid, "thread_name", &name));
+        }
+        for e in &t.events {
+            if let Track::Sim { lane } = e.track {
+                if !sim_lanes.contains(&lane) {
+                    sim_lanes.push(lane);
+                }
+            }
+        }
+    }
+    sim_lanes.sort_unstable();
+    for lane in sim_lanes {
+        let name = if lane == SIM_SCHED_LANE {
+            "scheduler clock".to_string()
+        } else {
+            format!("processor {lane}")
+        };
+        events.push(metadata_event(SIM_PID, lane as u64, "thread_name", &name));
+    }
+    for t in threads {
+        for e in &t.events {
+            events.push(event_json(e, t.tid));
+        }
+    }
+    obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", "ms".into()),
+    ])
+}
+
+/// Serialize the Chrome trace document to a string ready for Perfetto.
+pub fn chrome_trace_json(threads: &[ThreadEvents]) -> String {
+    chrome_trace(threads).to_json()
+}
+
+/// Flat JSONL: one event object per line, in shard order. Suited to
+/// `grep`/`jq`-style postprocessing rather than timeline UIs.
+pub fn jsonl(threads: &[ThreadEvents]) -> String {
+    let mut out = String::new();
+    for t in threads {
+        for e in &t.events {
+            out.push_str(&event_json(e, t.tid).to_json());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Summary statistics from a validated Chrome trace file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    pub total_events: usize,
+    /// Completed spans: matched B/E pairs plus "X" events.
+    pub spans: usize,
+    pub counters: usize,
+    pub instants: usize,
+    /// Distinct categories seen on non-metadata events.
+    pub categories: Vec<String>,
+}
+
+/// Parse and structurally validate a Chrome trace-event JSON document:
+/// required fields present, per-track timestamps of B/E events monotone,
+/// and every Begin matched by an End on the same track.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats::default();
+    // (pid, tid) -> (open span depth, last B/E timestamp)
+    let mut tracks: std::collections::BTreeMap<(u64, u64), (usize, f64)> =
+        std::collections::BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if e.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+            if !cat.is_empty() && !stats.categories.iter().any(|c| c == cat) {
+                stats.categories.push(cat.to_string());
+            }
+        }
+        stats.total_events += 1;
+        let track = tracks.entry((pid, tid)).or_insert((0, f64::NEG_INFINITY));
+        match ph {
+            "B" | "E" => {
+                if ts < track.1 {
+                    return Err(format!(
+                        "event {i}: timestamp {ts} goes backwards on track ({pid},{tid})"
+                    ));
+                }
+                track.1 = ts;
+                if ph == "B" {
+                    track.0 += 1;
+                } else {
+                    track.0 = track
+                        .0
+                        .checked_sub(1)
+                        .ok_or_else(|| format!("event {i}: E without matching B"))?;
+                    stats.spans += 1;
+                }
+            }
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                stats.spans += 1;
+            }
+            "C" => stats.counters += 1,
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    for ((pid, tid), (depth, _)) in tracks {
+        if depth != 0 {
+            return Err(format!("track ({pid},{tid}): {depth} unclosed span(s)"));
+        }
+    }
+    stats.categories.sort();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Event, Phase, ThreadEvents, Track};
+    use std::borrow::Cow;
+
+    fn ev(phase: Phase, ts: f64, track: Track) -> Event {
+        Event {
+            name: Cow::Borrowed("e"),
+            cat: "test",
+            phase,
+            ts_us: ts,
+            dur_us: if phase == Phase::Complete { 5.0 } else { 0.0 },
+            track,
+            args: Vec::new(),
+        }
+    }
+
+    fn threads(events: Vec<Event>) -> Vec<ThreadEvents> {
+        vec![ThreadEvents {
+            tid: 7,
+            thread_name: Some("t7".into()),
+            events,
+            dropped: 0,
+        }]
+    }
+
+    #[test]
+    fn export_validates_cleanly() {
+        let t = threads(vec![
+            ev(Phase::Begin, 1.0, Track::Real { tid: 0 }),
+            ev(Phase::Instant, 2.0, Track::Real { tid: 0 }),
+            ev(Phase::End, 3.0, Track::Real { tid: 0 }),
+            ev(Phase::Complete, 0.0, Track::Sim { lane: 2 }),
+            ev(Phase::Counter, 4.0, Track::Real { tid: 0 }),
+        ]);
+        let text = chrome_trace_json(&t);
+        let stats = validate_chrome_trace(&text).unwrap();
+        assert_eq!(stats.total_events, 5);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.categories, vec!["test".to_string()]);
+    }
+
+    #[test]
+    fn real_and_sim_land_in_separate_processes() {
+        let t = threads(vec![
+            ev(Phase::Complete, 1.0, Track::Real { tid: 0 }),
+            ev(Phase::Complete, 1.0, Track::Sim { lane: 3 }),
+        ]);
+        let doc = chrome_trace(&t);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("pid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(pids, vec![REAL_PID, SIM_PID]);
+        // Real events take the shard tid; sim events take the lane.
+        let tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![7, 3]);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_backwards() {
+        let unbalanced = threads(vec![ev(Phase::Begin, 1.0, Track::Real { tid: 0 })]);
+        assert!(!chrome_trace_json(&unbalanced).is_empty());
+        let err = validate_chrome_trace(&chrome_trace_json(&unbalanced)).unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+
+        let backwards = threads(vec![
+            ev(Phase::Begin, 5.0, Track::Real { tid: 0 }),
+            ev(Phase::End, 4.0, Track::Real { tid: 0 }),
+        ]);
+        let err = validate_chrome_trace(&chrome_trace_json(&backwards)).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+
+        let orphan_end = threads(vec![ev(Phase::End, 5.0, Track::Real { tid: 0 })]);
+        let err = validate_chrome_trace(&chrome_trace_json(&orphan_end)).unwrap_err();
+        assert!(err.contains("without matching"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let t = threads(vec![
+            ev(Phase::Begin, 1.0, Track::Real { tid: 0 }),
+            ev(Phase::End, 2.0, Track::Real { tid: 0 }),
+        ]);
+        let text = jsonl(&t);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.get("ph").is_some());
+            assert!(v.get("ts").is_some());
+        }
+    }
+}

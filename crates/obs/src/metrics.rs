@@ -1,0 +1,316 @@
+//! Cheap atomic metrics: counters, gauges (with peak tracking) and
+//! log₂-bucketed histograms, plus a process-global named registry.
+//!
+//! Everything is lock-free on the hot path (`Relaxed` atomics); the
+//! registry takes a lock only on registration and snapshot. Metrics stay
+//! live for the process lifetime — handles are `Arc`s that can be cached
+//! by the instrumented code.
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, frontier index, …) tracking its peak.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever `set`/`add`-ed (0 if never above zero).
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram over `u64` samples with power-of-two buckets: bucket `i`
+/// counts samples whose highest set bit is `i` (bucket 0 additionally
+/// holds zeros). 65 slots cover the full domain.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1) — a
+    /// factor-of-two estimate, which is enough to spot tail blow-ups.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A named collection of metrics. One process-global instance lives
+/// behind [`registry`]; tests can build private ones.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// One JSON object per metric kind: counters as totals, gauges as
+    /// `{current, peak}`, histograms as `{count, sum, mean, p50, p99}`.
+    pub fn snapshot(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get().into()))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| {
+                (
+                    k.clone(),
+                    obj([("current", g.get().into()), ("peak", g.peak().into())]),
+                )
+            })
+            .collect();
+        let histograms: Vec<(String, Json)> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    obj([
+                        ("count", h.count().into()),
+                        ("sum", h.sum().into()),
+                        ("mean", h.mean().into()),
+                        ("p50_bound", h.quantile_bound(0.5).into()),
+                        ("p99_bound", h.quantile_bound(0.99).into()),
+                    ]),
+                )
+            })
+            .collect();
+        obj([
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+
+    /// Reset every registered metric to zero (between bench repetitions).
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.value.store(0, Ordering::Relaxed);
+            g.peak.store(0, Ordering::Relaxed);
+        }
+        let hists = self.histograms.lock().unwrap();
+        for h in hists.values() {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("ops").get(), 5, "same handle by name");
+
+        let g = r.gauge("depth");
+        g.set(3);
+        g.add(4);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1107);
+        assert!(h.mean() > 150.0);
+        assert_eq!(h.quantile_bound(0.0), 0);
+        // All samples ≤ 1024.
+        assert!(h.quantile_bound(1.0) <= 1024);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json_and_reset_zeroes() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.gauge("b").set(9);
+        r.histogram("c").record(17);
+        let snap = r.snapshot();
+        let text = snap.to_json();
+        let back = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            back.get("gauges").unwrap().get("b").unwrap().get("peak").unwrap().as_u64(),
+            Some(9)
+        );
+        r.reset();
+        assert_eq!(r.counter("a").get(), 0);
+        assert_eq!(r.gauge("b").peak(), 0);
+        assert_eq!(r.histogram("c").count(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("hot");
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("hot").get(), 80_000);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crossbeam::channel;
 use incr_dag::{Dag, NodeId};
+use incr_obs::trace;
 use incr_sched::Scheduler;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,27 +66,48 @@ impl Executor {
         let mut completion_order = Vec::new();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for i in 0..self.workers {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 let task = task.clone();
                 scope.spawn(move || {
-                    for node in work_rx.iter() {
+                    if trace::enabled() {
+                        trace::set_thread_name(&format!("worker-{i}"));
+                    }
+                    loop {
+                        let idle = trace::span("exec", "worker.idle");
+                        let Ok(node) = work_rx.recv() else { break };
+                        drop(idle);
+                        let span = trace::span_with(
+                            "exec",
+                            format!("task {}", node.0),
+                            vec![("node", (node.0 as u64).into())],
+                        );
                         let outcome = task(node);
+                        drop(span);
                         if done_tx.send((node, outcome)).is_err() {
                             break;
                         }
                     }
                 });
             }
+            // Kept only so the coordinator can sample the queue depth.
+            let work_depth = work_rx.clone();
             drop(work_rx);
             drop(done_tx);
 
+            if trace::enabled() {
+                trace::set_thread_name("executor-coordinator");
+            }
             let mut in_flight = 0usize;
             loop {
                 while let Some(t) = scheduler.pop_ready() {
                     work_tx.send(t).expect("workers alive");
                     in_flight += 1;
+                }
+                if trace::enabled() {
+                    trace::counter("exec", "exec.work_queue_depth", work_depth.len() as f64);
+                    trace::counter("exec", "exec.in_flight", in_flight as f64);
                 }
                 if in_flight == 0 {
                     assert!(
@@ -95,7 +117,9 @@ impl Executor {
                     );
                     break;
                 }
+                let wait = trace::span("exec", "coordinator.wait_completion");
                 let (node, outcome) = done_rx.recv().expect("workers alive");
+                drop(wait);
                 for &c in &outcome.fired {
                     assert!(
                         dag.has_edge(node, c),

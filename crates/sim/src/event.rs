@@ -10,6 +10,7 @@
 //! scheduling overhead inflates the total execution times in Tables II
 //! and III.
 
+use incr_obs::trace;
 use incr_sched::{CostMeter, CostPrices, Instance, SafetyChecker, Scheduler};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -71,6 +72,8 @@ pub struct SimResult {
 struct Completion {
     time: f64,
     node: incr_dag::NodeId,
+    /// Simulated processor index the task ran on (trace lane).
+    lane: u32,
 }
 
 impl PartialEq for Completion {
@@ -121,24 +124,37 @@ pub fn simulate_event(
     let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
 
     // Charge a scheduler call: advance the scheduler clock by the delta of
-    // weighted cost, starting no earlier than `now`.
+    // weighted cost, starting no earlier than `now`. When tracing is on,
+    // each nonzero charge becomes a span on the simulated scheduler-clock
+    // lane, so Perfetto shows exactly where overhead delays dispatches.
     macro_rules! charge {
-        ($before:expr, $t0:expr) => {{
+        ($name:literal, $before:expr, $t0:expr) => {{
             wall += $t0.elapsed().as_secs_f64();
             let delta = scheduler.cost().weighted(&cfg.prices) - $before;
             debug_assert!(delta >= -1e-12, "cost must be monotone");
             if sched_clock < now {
                 sched_clock = now;
             }
+            if delta > 0.0 && trace::enabled() {
+                trace::sim_complete(
+                    trace::SIM_SCHED_LANE,
+                    $name,
+                    sched_clock * 1e6,
+                    delta * 1e6,
+                    Vec::new(),
+                );
+            }
             sched_clock += delta.max(0.0);
             overhead += delta.max(0.0);
         }};
     }
 
+    let mut free_lanes: Vec<u32> = (0..cfg.processors as u32).rev().collect();
+
     let before = scheduler.cost().weighted(&cfg.prices);
     let t0 = std::time::Instant::now();
     scheduler.start(&instance.initial_active);
-    charge!(before, t0);
+    charge!("sched.start", before, t0);
     if let Some(a) = audit.as_mut() {
         a.on_start(&instance.initial_active);
     }
@@ -150,7 +166,7 @@ pub fn simulate_event(
             let before = scheduler.cost().weighted(&cfg.prices);
             let t0 = std::time::Instant::now();
             let popped = scheduler.pop_ready();
-            charge!(before, t0);
+            charge!("sched.pop_ready", before, t0);
             let Some(t) = popped else { break };
             if let Some(a) = audit.as_mut() {
                 a.on_pop(t);
@@ -161,9 +177,23 @@ pub fn simulate_event(
             busy += instance.durations[t.index()];
             let finish = start + instance.durations[t.index()];
             makespan = makespan.max(finish);
+            let lane = free_lanes.pop().expect("idle count tracks free lanes");
+            if trace::enabled() {
+                trace::sim_complete(
+                    lane,
+                    format!("task {}", t.0),
+                    start * 1e6,
+                    instance.durations[t.index()] * 1e6,
+                    vec![
+                        ("node", (t.0 as u64).into()),
+                        ("level", (instance.dag.level(t) as u64).into()),
+                    ],
+                );
+            }
             heap.push(Completion {
                 time: finish,
                 node: t,
+                lane,
             });
             idle -= 1;
         }
@@ -186,12 +216,13 @@ pub fn simulate_event(
         };
         now = c.time;
         idle += 1;
+        free_lanes.push(c.lane);
         executed += 1;
         let fired = &instance.fired[c.node.index()];
         let before = scheduler.cost().weighted(&cfg.prices);
         let t0 = std::time::Instant::now();
         scheduler.on_completed(c.node, fired);
-        charge!(before, t0);
+        charge!("sched.on_completed", before, t0);
         if let Some(a) = audit.as_mut() {
             a.on_complete(c.node, fired);
         }
@@ -201,6 +232,18 @@ pub fn simulate_event(
         if let Some(a) = audit.as_mut() {
             a.on_finish();
         }
+    }
+
+    if trace::enabled() {
+        trace::sim_instant(
+            trace::SIM_SCHED_LANE,
+            "makespan",
+            makespan.max(now) * 1e6,
+            vec![
+                ("executed", executed.into()),
+                ("sched_overhead_s", overhead.into()),
+            ],
+        );
     }
 
     SimResult {

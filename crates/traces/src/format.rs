@@ -9,16 +9,15 @@
 //! replay the activation behaviour.
 
 use incr_dag::{Dag, DagBuilder, NodeId};
+use incr_obs::json::{obj, Json, JsonError};
 use incr_sched::{Instance, TaskShape};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Current format version; bump on incompatible schema changes.
 pub const FORMAT_VERSION: u32 = 1;
 
 /// Serializable task shape (mirror of [`TaskShape`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShapeSpec {
     Unit,
     Parallel { work: u32 },
@@ -48,8 +47,50 @@ impl From<ShapeSpec> for TaskShape {
     }
 }
 
+impl ShapeSpec {
+    /// Tagged-object encoding: `{"kind": "unit"}`,
+    /// `{"kind": "parallel", "work": 8}`, …
+    fn to_value(self) -> Json {
+        match self {
+            ShapeSpec::Unit => obj([("kind", "unit".into())]),
+            ShapeSpec::Parallel { work } => {
+                obj([("kind", "parallel".into()), ("work", work.into())])
+            }
+            ShapeSpec::Chain { len } => obj([("kind", "chain".into()), ("len", len.into())]),
+            ShapeSpec::WorkSpan { work, span } => obj([
+                ("kind", "work_span".into()),
+                ("work", work.into()),
+                ("span", span.into()),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Json) -> Result<ShapeSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("shape missing kind")?;
+        let field = |name: &str| -> Result<u32, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("shape {kind:?} missing field {name:?}"))
+        };
+        match kind {
+            "unit" => Ok(ShapeSpec::Unit),
+            "parallel" => Ok(ShapeSpec::Parallel { work: field("work")? }),
+            "chain" => Ok(ShapeSpec::Chain { len: field("len")? }),
+            "work_span" => Ok(ShapeSpec::WorkSpan {
+                work: field("work")?,
+                span: field("span")?,
+            }),
+            other => Err(format!("unknown shape kind {other:?}")),
+        }
+    }
+}
+
 /// A complete, serializable job trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobTrace {
     pub version: u32,
     pub name: String,
@@ -69,8 +110,13 @@ pub struct JobTrace {
 /// Errors loading a trace.
 #[derive(Debug)]
 pub enum TraceError {
-    Json(serde_json::Error),
-    Version { found: u32, expected: u32 },
+    Json(JsonError),
+    /// JSON parsed but does not have the JobTrace structure.
+    Schema(String),
+    Version {
+        found: u32,
+        expected: u32,
+    },
     Graph(incr_dag::DagError),
     Shape(String),
 }
@@ -79,6 +125,7 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::Schema(e) => write!(f, "trace schema error: {e}"),
             TraceError::Version { found, expected } => {
                 write!(f, "trace format version {found}, expected {expected}")
             }
@@ -89,6 +136,31 @@ impl std::fmt::Display for TraceError {
 }
 
 impl std::error::Error for TraceError {}
+
+fn u32_field(doc: &Json, name: &str) -> Result<u32, TraceError> {
+    doc.get(name)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| TraceError::Schema(format!("missing u32 field {name:?}")))
+}
+
+fn u32_array(v: &Json, what: &str) -> Result<Vec<u32>, TraceError> {
+    v.as_arr()
+        .ok_or_else(|| TraceError::Schema(format!("{what} is not an array")))?
+        .iter()
+        .map(|e| {
+            e.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| TraceError::Schema(format!("{what} entry is not a u32")))
+        })
+        .collect()
+}
+
+fn arr_field<'a>(doc: &'a Json, name: &str) -> Result<&'a [Json], TraceError> {
+    doc.get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| TraceError::Schema(format!("missing array field {name:?}")))
+}
 
 impl JobTrace {
     /// Capture an instance into the serializable form.
@@ -151,14 +223,105 @@ impl JobTrace {
         Ok(inst)
     }
 
+    /// The JSON document form.
+    pub fn to_value(&self) -> Json {
+        obj([
+            ("version", self.version.into()),
+            ("name", self.name.clone().into()),
+            ("node_count", self.node_count.into()),
+            (
+                "edges",
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|&(u, v)| Json::Arr(vec![u.into(), v.into()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "durations_us",
+                Json::Arr(self.durations_us.iter().map(|&d| d.into()).collect()),
+            ),
+            (
+                "shapes",
+                Json::Arr(self.shapes.iter().map(|s| s.to_value()).collect()),
+            ),
+            (
+                "initial",
+                Json::Arr(self.initial.iter().map(|&v| v.into()).collect()),
+            ),
+            (
+                "fired",
+                Json::Arr(
+                    self.fired
+                        .iter()
+                        .map(|fs| Json::Arr(fs.iter().map(|&v| v.into()).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild from the JSON document form.
+    pub fn from_value(doc: &Json) -> Result<JobTrace, TraceError> {
+        let version = u32_field(doc, "version")?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| TraceError::Schema("missing string field \"name\"".into()))?
+            .to_string();
+        let node_count = u32_field(doc, "node_count")?;
+        let edges = arr_field(doc, "edges")?
+            .iter()
+            .map(|e| {
+                let pair = u32_array(e, "edge")?;
+                match pair[..] {
+                    [u, v] => Ok((u, v)),
+                    _ => Err(TraceError::Schema("edge is not a pair".into())),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let durations_us = arr_field(doc, "durations_us")?
+            .iter()
+            .map(|d| {
+                d.as_u64()
+                    .ok_or_else(|| TraceError::Schema("duration is not a u64".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let shapes = arr_field(doc, "shapes")?
+            .iter()
+            .map(|s| ShapeSpec::from_value(s).map_err(TraceError::Schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        let initial = u32_array(
+            doc.get("initial")
+                .ok_or_else(|| TraceError::Schema("missing array field \"initial\"".into()))?,
+            "initial",
+        )?;
+        let fired = arr_field(doc, "fired")?
+            .iter()
+            .map(|fs| u32_array(fs, "fired"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(JobTrace {
+            version,
+            name,
+            node_count,
+            edges,
+            durations_us,
+            shapes,
+            initial,
+            fired,
+        })
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("JobTrace serializes infallibly")
+        self.to_value().to_json()
     }
 
     /// Parse from JSON.
     pub fn from_json(s: &str) -> Result<JobTrace, TraceError> {
-        serde_json::from_str(s).map_err(TraceError::Json)
+        let doc = Json::parse(s).map_err(TraceError::Json)?;
+        JobTrace::from_value(&doc)
     }
 }
 
@@ -224,5 +387,17 @@ mod tests {
         let mut t = JobTrace::from_instance("f", &sample_instance());
         t.fired[0] = vec![2]; // 0 -> 2 is not an edge
         assert!(matches!(t.to_instance(), Err(TraceError::Shape(_))));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            JobTrace::from_json("{not json"),
+            Err(TraceError::Json(_))
+        ));
+        assert!(matches!(
+            JobTrace::from_json("{\"version\": 1}"),
+            Err(TraceError::Schema(_))
+        ));
     }
 }

@@ -8,15 +8,24 @@
 //!                                     makespan/overhead/utilization
 //! dlsched gantt <#id|figure2:L> <out.svg> [--sched S] [--procs P]
 //!                                     render a schedule timeline
+//! dlsched trace [--preset N|<spec>] [--sched S] [--procs P] [-o out.trace.json]
+//!                                     record a Perfetto-loadable trace of a
+//!                                     simulated run plus a real threaded
+//!                                     replay (scheduler + simulator +
+//!                                     executor layers)
 //! ```
 //!
 //! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
 //! `hybrid`, `hybrid-bg:<slice>`, `exact`.
 
-use datalog_sched::sched::{CostPrices, SchedulerKind};
+use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::sched::{CostPrices, Observed, SchedulerKind};
 use datalog_sched::sim::{record_timeline, simulate_event, EventSimConfig};
 use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
+use incr_obs::export::{chrome_trace_json, validate_chrome_trace};
+use incr_obs::trace;
 use incr_sched::Instance;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,9 +34,10 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("gantt") => cmd_gantt(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dlsched <gen|stats|simulate|gantt> ...\n\
+                "usage: dlsched <gen|stats|simulate|gantt|trace> ...\n\
                  see the crate docs (src/bin/dlsched.rs) for details"
             );
             2
@@ -185,6 +195,114 @@ fn cmd_simulate(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// Record one instance end to end: a discrete-event simulation (simulated
+/// time, `sim` + `sched` categories) followed by a real thread-pool
+/// replay of the same instance (`exec` + `sched` categories), exported as
+/// one Chrome trace-event file. Perfetto then shows the simulated
+/// makespan and the real wall-clock run side by side.
+fn cmd_trace(args: &[String]) -> i32 {
+    let spec = if let Some(p) = flag(args, "--preset") {
+        format!("#{}", p.trim_start_matches('#'))
+    } else if let Some(first) = args.first().filter(|a| !a.starts_with('-')) {
+        first.to_string()
+    } else {
+        eprintln!(
+            "usage: dlsched trace [--preset N|<trace.json|#id|figure2:L>] \
+             [--sched S] [--procs P] [-o out.trace.json]"
+        );
+        return 2;
+    };
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("hybrid")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let procs: usize = flag(args, "--procs").and_then(|p| p.parse().ok()).unwrap_or(8);
+    let out = flag(args, "-o")
+        .or_else(|| flag(args, "--out"))
+        .map(String::from)
+        .unwrap_or_else(|| {
+            format!(
+                "results/{}.trace.json",
+                spec.trim_start_matches('#').replace([':', '/'], "_")
+            )
+        });
+
+    let (name, inst) = match load_instance(&spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+
+    trace::clear();
+    incr_obs::registry().reset();
+    trace::enable();
+    trace::set_thread_name("simulation-driver");
+
+    // Pass 1: discrete-event simulation under the observed scheduler —
+    // `sim` events on simulated lanes, `sched` spans on this thread.
+    let mut sim_sched = Observed::new(kind.build(inst.dag.clone()));
+    let sim = simulate_event(
+        &mut sim_sched,
+        &inst,
+        &EventSimConfig {
+            processors: procs,
+            ..Default::default()
+        },
+    );
+
+    // Pass 2: real threaded replay of the same active graph — `exec`
+    // spans on worker threads, more `sched` spans on the coordinator.
+    let mut exec_sched = Observed::new(kind.build(inst.dag.clone()));
+    let fired: Arc<Vec<Vec<incr_dag::NodeId>>> = Arc::new(inst.fired.clone());
+    let task: TaskFn = Arc::new(move |v| TaskOutcome {
+        fired: fired[v.index()].clone(),
+    });
+    let report = Executor::new(procs).run(&mut exec_sched, &inst.dag, &inst.initial_active, task);
+
+    trace::disable();
+    let threads = trace::drain();
+    let dropped: u64 = threads.iter().map(|t| t.dropped).sum();
+    let text = chrome_trace_json(&threads);
+    let stats = match validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("internal error: emitted trace failed validation: {e}");
+            return 1;
+        }
+    };
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+            eprintln!("cannot create {}", dir.display());
+            return 1;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+
+    println!("{name} under {} on {procs} processors:", kind.label());
+    println!("  simulated makespan  {:.6} s", sim.makespan);
+    println!("  simulated overhead  {:.6} s", sim.sched_overhead);
+    println!("  replay wall-clock   {:.6} s ({} tasks)", report.wall_seconds, report.executed);
+    println!(
+        "  trace               {} events ({} spans, {} counters, {} instants)",
+        stats.total_events, stats.spans, stats.counters, stats.instants
+    );
+    println!("  categories          {}", stats.categories.join(", "));
+    if dropped > 0 {
+        println!("  dropped             {dropped} events (per-thread buffer cap)");
+    }
+    println!("  wrote {out} — open in https://ui.perfetto.dev");
+    0
 }
 
 fn cmd_gantt(args: &[String]) -> i32 {

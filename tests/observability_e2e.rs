@@ -1,0 +1,159 @@
+//! End-to-end observability: run instrumented components with tracing
+//! enabled, export, and validate the Chrome trace — including a real
+//! multi-threaded executor run whose events land in per-worker shards.
+//!
+//! Trace state is process-global, so every test here serializes on one
+//! lock and drains the buffers before starting.
+
+use datalog_sched::datalog::{FactEdit, IncrementalEngine};
+use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::sched::{Observed, SchedulerKind};
+use datalog_sched::sim::{simulate_event, EventSimConfig};
+use datalog_sched::traces::{generate, preset};
+use incr_obs::export::{chrome_trace_json, jsonl, validate_chrome_trace};
+use incr_obs::{trace, Json};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Categories present in a validated export.
+fn run_and_validate(f: impl FnOnce()) -> (incr_obs::export::TraceStats, String) {
+    trace::clear();
+    trace::enable();
+    f();
+    trace::disable();
+    let threads = trace::drain();
+    let text = chrome_trace_json(&threads);
+    let stats = validate_chrome_trace(&text).expect("emitted trace must validate");
+    (stats, text)
+}
+
+#[test]
+fn executor_run_produces_balanced_multithreaded_trace() {
+    let _guard = serial();
+    let spec = preset(5);
+    let (inst, _) = generate(&spec);
+    let (stats, text) = run_and_validate(|| {
+        let mut s = Observed::new(SchedulerKind::Hybrid.build(inst.dag.clone()));
+        let fired = Arc::new(inst.fired.clone());
+        let task: TaskFn = Arc::new(move |v| TaskOutcome {
+            fired: fired[v.index()].clone(),
+        });
+        let report = Executor::new(4).run(&mut s, &inst.dag, &inst.initial_active, task);
+        assert_eq!(report.executed, inst.active_count());
+    });
+    assert!(stats.spans > 0, "executor run must record spans");
+    assert!(
+        stats.categories.iter().any(|c| c == "exec"),
+        "worker/coordinator spans missing: {:?}",
+        stats.categories
+    );
+    assert!(
+        stats.categories.iter().any(|c| c == "sched"),
+        "Observed scheduler spans missing: {:?}",
+        stats.categories
+    );
+    // Several distinct real-time tracks: coordinator + ≥2 workers.
+    let doc = Json::parse(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+        .filter(|e| e.get("pid").and_then(Json::as_u64) == Some(1))
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(
+        tids.len() >= 3,
+        "expected events from several threads, saw tracks {tids:?}"
+    );
+}
+
+#[test]
+fn simulated_run_exports_both_time_domains() {
+    let _guard = serial();
+    let spec = preset(5);
+    let (inst, _) = generate(&spec);
+    let (stats, text) = run_and_validate(|| {
+        let mut s = Observed::new(SchedulerKind::LevelBased.build(inst.dag.clone()));
+        let r = simulate_event(&mut s, &inst, &EventSimConfig::default());
+        assert!(r.makespan > 0.0);
+    });
+    assert!(stats.categories.iter().any(|c| c == "sim"));
+    let doc = Json::parse(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let pid_of = |e: &Json| e.get("pid").and_then(Json::as_u64);
+    assert!(
+        events.iter().any(|e| pid_of(e) == Some(1)),
+        "real-time events missing"
+    );
+    assert!(
+        events.iter().any(|e| pid_of(e) == Some(2)),
+        "simulated-time events missing"
+    );
+}
+
+#[test]
+fn datalog_update_emits_dred_phase_spans() {
+    let _guard = serial();
+    let program = "\
+        path(X, Y) :- edge(X, Y).\n\
+        path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+        edge(a, b). edge(b, c). edge(c, d).\n";
+    let (stats, text) = run_and_validate(|| {
+        let mut engine = IncrementalEngine::new(program).expect("valid program");
+        let mut sched = SchedulerKind::Hybrid.build(engine.dag().clone());
+        engine
+            .update(
+                &mut *sched,
+                &[FactEdit::remove("edge", &["b", "c"]), FactEdit::add("edge", &["b", "d"])],
+            )
+            .expect("edit applies");
+    });
+    assert!(stats.categories.iter().any(|c| c == "datalog"));
+    for phase in ["dred.overdelete", "dred.rederive", "dred.insert"] {
+        assert!(
+            text.contains(phase),
+            "missing DRed phase span {phase} in exported trace"
+        );
+    }
+    assert!(text.contains("eval "), "missing per-stratum eval span");
+}
+
+#[test]
+fn jsonl_export_is_one_valid_object_per_line() {
+    let _guard = serial();
+    trace::clear();
+    trace::enable();
+    {
+        let _s = trace::span("test", "outer");
+        trace::instant("test", "tick", vec![("k", 1u64.into())]);
+    }
+    trace::disable();
+    let threads = trace::drain();
+    let text = jsonl(&threads);
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v = Json::parse(line).expect("each JSONL line parses");
+        assert!(v.get("name").is_some());
+        assert!(v.get("ph").is_some());
+    }
+}
+
+#[test]
+fn tracing_disabled_records_nothing_across_layers() {
+    let _guard = serial();
+    trace::clear();
+    trace::disable();
+    let spec = preset(5);
+    let (inst, _) = generate(&spec);
+    let mut s = Observed::new(SchedulerKind::Hybrid.build(inst.dag.clone()));
+    let r = simulate_event(&mut s, &inst, &EventSimConfig::default());
+    assert!(r.makespan > 0.0);
+    let total: usize = trace::drain().iter().map(|t| t.events.len()).sum();
+    assert_eq!(total, 0, "disabled tracing must be a no-op");
+}

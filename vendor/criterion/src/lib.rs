@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The bench files (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`/`iter_with_setup`) compile and run against this
+//! harness unchanged. Measurement is deliberately simple: after a warm-up,
+//! each sample times a fixed iteration batch and the harness reports
+//! min / mean / max nanoseconds per iteration on stdout — enough to
+//! compare configurations on one machine, with none of criterion's
+//! statistics, HTML reports, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            per_iter_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Time `routine` repeatedly. Batch size is chosen so one sample takes
+    /// roughly a millisecond, bounding total harness time per benchmark.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + batch sizing: run until ~1 ms or 1000 iterations.
+        let t0 = Instant::now();
+        let mut warmup_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(1) && warmup_iters < 1000 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((1_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 10_000);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.per_iter_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh state from `setup`; setup time is excluded.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        for _ in 0..self.samples.max(2) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let min = self.per_iter_ns.iter().cloned().fold(f64::MAX, f64::min);
+        let max = self.per_iter_ns.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len() as f64;
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "criterion requires sample_size >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Harness entry point; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report(&id.id);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("id"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| black_box(v.len()),
+            )
+        });
+        assert!(setups >= 2);
+    }
+}

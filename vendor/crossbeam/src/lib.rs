@@ -1,0 +1,220 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided — an unbounded MPMC channel with cloneable
+//! senders *and* receivers plus disconnect semantics, which is what the
+//! executor's work/completion queues need and what `std::sync::mpsc`
+//! cannot give (its receiver is single-consumer). Built on
+//! `Mutex<VecDeque>` + `Condvar`; throughput is adequate for a work queue
+//! whose items are whole tasks.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable. The channel disconnects for receivers when
+    /// the last sender drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC). The channel disconnects for
+    /// senders when the last receiver drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error on send: all receivers dropped. Carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error on recv: channel empty and all senders dropped.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an item arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking pop, `None` when currently empty (even if senders
+        /// remain).
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator: yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything() {
+        let (tx, rx) = channel::unbounded();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop_and_drain() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}
