@@ -4,7 +4,7 @@
 //! computation that have not been affected").
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use incr_datalog::{FactEdit, IncrementalEngine};
+use incr_datalog::{EvalOptions, FactEdit, IncrementalEngine};
 use incr_sched::{LevelBased, Scheduler};
 
 /// Transitive closure over a grid-ish edge set.
@@ -93,5 +93,95 @@ fn bench_scheduler_inside_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_incremental_vs_full, bench_scheduler_inside_engine);
+/// Ring + random shortcuts: one big SCC whose closure is n² facts, so
+/// semi-naive rounds carry large deltas (the workload `datalog_perf`
+/// measures end to end).
+fn big_tc_program(n: u64) -> String {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rand = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let mut src = String::from(
+        "path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- path(X, Y), edge(Y, Z).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("edge(v{i}, v{}).\n", (i + 1) % n));
+        src.push_str(&format!("edge(v{i}, v{}).\n", rand(n)));
+    }
+    src
+}
+
+fn bench_large_tc_update(c: &mut Criterion) {
+    let n = 300u64;
+    let src = big_tc_program(n);
+    let mut g = c.benchmark_group("tc300_ten_edge_insert");
+    g.sample_size(10);
+    for (label, threads) in [("threads1", 1usize), ("threads4", 4usize)] {
+        g.bench_function(label, |b| {
+            b.iter_with_setup(
+                || {
+                    let engine =
+                        IncrementalEngine::with_options(&src, EvalOptions::with_threads(threads))
+                            .expect("valid program");
+                    let sched = LevelBased::new(engine.dag().clone());
+                    (engine, sched)
+                },
+                |(mut engine, mut sched)| {
+                    let edits: Vec<FactEdit> = (0..10)
+                        .map(|j| {
+                            let i = j * (n / 10);
+                            FactEdit::add(
+                                "edge",
+                                &[&format!("v{i}"), &format!("v{}", (i + n / 2) % n)],
+                            )
+                        })
+                        .collect();
+                    engine.update(&mut sched, &edits).expect("update");
+                    std::hint::black_box(engine.count("path"))
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_multi_bound_join(c: &mut Criterion) {
+    // `link`'s first column is unbound at probe time: the auto planner
+    // uses the [1, 2] index while the legacy heuristic would scan.
+    let rows = 800u64;
+    let mut state = 0x51a7b2c93d4e5f60u64;
+    let mut rand = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let mut src = String::from("joined(A, D) :- fact3(A, B, C), link(D, B, C).\n");
+    for i in 0..rows {
+        src.push_str(&format!("fact3(a{i}, b{}, c{}).\n", rand(40), rand(40)));
+        src.push_str(&format!("link(d{i}, b{}, c{}).\n", rand(40), rand(40)));
+    }
+    let mut g = c.benchmark_group("multi_bound_join_800");
+    g.sample_size(10);
+    g.bench_function("materialize", |b| {
+        b.iter(|| {
+            let engine = IncrementalEngine::with_options(&src, EvalOptions::sequential())
+                .expect("valid program");
+            std::hint::black_box(engine.count("joined"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_full,
+    bench_scheduler_inside_engine,
+    bench_large_tc_update,
+    bench_multi_bound_join
+);
 criterion_main!(benches);

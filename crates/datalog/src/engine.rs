@@ -8,8 +8,9 @@
 //! as far as the data requires and no further.
 
 use crate::ast::Program;
-use crate::eval::{compile_program, load_facts, seminaive_scc, CRule};
-use crate::incr::{reevaluate_scc, update_scc, Delta};
+use crate::eval::{compile_program_with, load_facts, seminaive_scc_opts, CRule};
+use crate::incr::{reevaluate_scc_opts, update_scc_opts, Delta};
+use crate::par::EvalOptions;
 use crate::parser::{parse_program, ParseError};
 use crate::query::{parse_pattern, query as run_query};
 use crate::rel::{Database, PredId};
@@ -94,20 +95,36 @@ pub struct IncrementalEngine {
     /// Per task node: its clique's compiled rules (shared, not re-cloned
     /// on every execution).
     node_rules: Vec<Arc<Vec<CRule>>>,
+    /// Evaluation knobs: thread count, parallelism threshold, index mode.
+    opts: EvalOptions,
 }
 
 impl IncrementalEngine {
-    /// Parse, stratify, compile, load facts, and fully materialize.
+    /// Parse, stratify, compile, load facts, and fully materialize with
+    /// default options (all available cores, automatic index selection).
     pub fn new(src: &str) -> Result<Self, EngineError> {
+        Self::with_options(src, EvalOptions::default())
+    }
+
+    /// [`Self::new`] with explicit evaluation options.
+    pub fn with_options(src: &str, opts: EvalOptions) -> Result<Self, EngineError> {
         let program = parse_program(src).map_err(EngineError::Parse)?;
-        Self::from_program(program)
+        Self::from_program_with_options(program, opts)
+    }
+
+    /// Build from an already-parsed program with default options.
+    pub fn from_program(program: Program) -> Result<Self, EngineError> {
+        Self::from_program_with_options(program, EvalOptions::default())
     }
 
     /// Build from an already-parsed program.
-    pub fn from_program(program: Program) -> Result<Self, EngineError> {
+    pub fn from_program_with_options(
+        program: Program,
+        opts: EvalOptions,
+    ) -> Result<Self, EngineError> {
         let strat = stratify(&program).map_err(EngineError::Stratify)?;
         let mut db = Database::new();
-        let rules = compile_program(&program, &mut db);
+        let rules = compile_program_with(&program, &mut db, opts.index_mode);
         load_facts(&program, &mut db);
         let graph = TaskGraph::build(&strat, &rules, &db);
 
@@ -119,9 +136,25 @@ impl IncrementalEngine {
             strat,
             graph,
             node_rules,
+            opts,
         };
         engine.materialize();
         Ok(engine)
+    }
+
+    /// The evaluation options in effect.
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Swap the evaluation options. Changing the index mode recompiles
+    /// the program (join plans are baked into the rules).
+    pub fn set_eval_options(&mut self, opts: EvalOptions) {
+        let recompile = opts.index_mode != self.opts.index_mode;
+        self.opts = opts;
+        if recompile {
+            self.rebuild().expect("program unchanged, rebuild cannot fail");
+        }
     }
 
     /// Build the per-node rule sets once per (re)compilation.
@@ -144,7 +177,7 @@ impl IncrementalEngine {
         for &v in self.graph.dag.topo_order() {
             if let NodeKind::Clique { preds, .. } = &self.graph.kinds[v.index()] {
                 let rules = self.node_rules[v.index()].clone();
-                seminaive_scc(&mut self.db, &rules, preds, HashMap::new(), true);
+                seminaive_scc_opts(&mut self.db, &rules, preds, HashMap::new(), true, &self.opts);
             }
         }
     }
@@ -288,9 +321,9 @@ impl IncrementalEngine {
                             // fold. Their inputs are final here, so a full
                             // re-evaluation against the live database is
                             // both correct and exact.
-                            reevaluate_scc(&mut self.db, &rules, preds)
+                            reevaluate_scc_opts(&mut self.db, &rules, preds, &self.opts)
                         } else {
-                            update_scc(&mut self.db, &rules, preds, &input)
+                            update_scc_opts(&mut self.db, &rules, preds, &input, &self.opts)
                         }
                     }
                 }
@@ -347,7 +380,7 @@ impl IncrementalEngine {
     /// program change, keeping the database contents.
     fn rebuild(&mut self) -> Result<(), EngineError> {
         let strat = stratify(&self.program).map_err(EngineError::Stratify)?;
-        let rules = compile_program(&self.program, &mut self.db);
+        let rules = compile_program_with(&self.program, &mut self.db, self.opts.index_mode);
         let graph = TaskGraph::build(&strat, &rules, &self.db);
         self.node_rules = Self::index_node_rules(&graph, &rules);
         self.strat = strat;
@@ -454,7 +487,7 @@ impl IncrementalEngine {
         let out = match &self.graph.kinds[node.index()] {
             NodeKind::Clique { preds, .. } => {
                 let rules = self.node_rules[node.index()].clone();
-                reevaluate_scc(&mut self.db, &rules, preds)
+                reevaluate_scc_opts(&mut self.db, &rules, preds, &self.opts)
             }
             NodeKind::Base(_) => {
                 // The last rule for this predicate was removed: it is now

@@ -2,15 +2,24 @@
 //! the common primitive.
 //!
 //! A compiled rule's body is evaluated left-to-right by nested-loop join
-//! over variable bindings. Pinning body position `j` to a delta relation
-//! evaluates only the derivations that use a delta tuple at `j` — the
-//! primitive behind semi-naive fixpoints, incremental insertion, and
-//! DRed overdeletion alike.
+//! over variable bindings, driven by a join plan computed at compile
+//! time: for each body atom the plan records which columns are bound by
+//! constants and earlier positive atoms, and the evaluator probes the
+//! secondary index on exactly that column set (building it on demand via
+//! [`ensure_indices`]) instead of scanning the extent. Pinning body
+//! position `j` to a delta relation evaluates only the derivations that
+//! use a delta tuple at `j` — the primitive behind semi-naive fixpoints,
+//! incremental insertion, and DRed overdeletion alike. Pinned deltas are
+//! slices so the parallel evaluator ([`crate::par`]) can partition them
+//! across workers.
 
 use crate::ast::{AggOp, Program, Rule, Term};
+use crate::par::{eval_pin_jobs, EvalOptions, PinJob};
 use crate::rel::{Database, PredId, Relation};
 use crate::value::{Tuple, Value};
+use incr_obs::Counter;
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
 /// Read-only source of relation extents. [`Database`] is the live store;
 /// the incremental module's snapshots overlay old extents for DRed
@@ -48,6 +57,30 @@ pub struct CAgg {
     pub slot: u32,
 }
 
+/// How one body atom is accessed by the nested-loop join.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// No useful column bound when this atom is reached: full extent scan.
+    Scan,
+    /// Probe the secondary index over these columns (the greedy
+    /// most-bound-columns choice: every bound position participates).
+    Index(Vec<usize>),
+    /// Every column bound: a single membership check.
+    AllBound,
+}
+
+/// Index selection policy, fixed at rule-compile time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Probe on all bound columns; fully-bound atoms become membership
+    /// checks.
+    #[default]
+    Auto,
+    /// The legacy heuristic — index only when position 0 is bound,
+    /// otherwise scan. Kept as a measurable baseline for `datalog_perf`.
+    FirstColumn,
+}
+
 /// A compiled rule.
 #[derive(Clone, Debug)]
 pub struct CRule {
@@ -59,10 +92,94 @@ pub struct CRule {
     /// [`eval_agg_rule`], never with delta pins; stratification keeps
     /// their consumers above their inputs exactly as with negation.
     pub agg: Option<CAgg>,
+    /// Per-body-atom access path when evaluation starts from nothing
+    /// bound (the ordinary forward join).
+    pub plan: Vec<Access>,
+    /// Access path when the head variables are pre-bound — used by
+    /// [`rule_derives`] to check a single candidate head tuple (DRed
+    /// rederivation).
+    pub check_plan: Vec<Access>,
+}
+
+/// Index hit/miss/scan/build counters, registered once and cached (the
+/// registry lookup takes a lock; these sit on the hot path).
+pub(crate) struct EvalMetrics {
+    pub hit: Arc<Counter>,
+    pub miss: Arc<Counter>,
+    pub scan: Arc<Counter>,
+    pub build: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static EvalMetrics {
+    static M: OnceLock<EvalMetrics> = OnceLock::new();
+    M.get_or_init(|| EvalMetrics {
+        hit: incr_obs::registry().counter("datalog.index.hit"),
+        miss: incr_obs::registry().counter("datalog.index.miss"),
+        scan: incr_obs::registry().counter("datalog.scan.full"),
+        build: incr_obs::registry().counter("datalog.index.build"),
+    })
+}
+
+/// Compute the access path per body atom, given the slots bound before
+/// the first atom runs (`initially_bound` — empty for the forward plan,
+/// the head slots for the check plan).
+fn access_plan(body: &[(CAtom, bool)], initially_bound: &[u32], mode: IndexMode) -> Vec<Access> {
+    let mut bound: HashSet<u32> = initially_bound.iter().copied().collect();
+    let mut plan = Vec::with_capacity(body.len());
+    for (atom, negated) in body {
+        let cols: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                CTerm::Const(_) => true,
+                CTerm::Var(s) => bound.contains(s),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let access = if *negated {
+            // Negated literals are ground under safety: always a
+            // membership check, no index needed.
+            Access::AllBound
+        } else {
+            match mode {
+                IndexMode::Auto => {
+                    if cols.len() == atom.terms.len() {
+                        Access::AllBound
+                    } else if cols.is_empty() {
+                        Access::Scan
+                    } else {
+                        Access::Index(cols)
+                    }
+                }
+                IndexMode::FirstColumn => {
+                    if cols.contains(&0) {
+                        Access::Index(vec![0])
+                    } else {
+                        Access::Scan
+                    }
+                }
+            }
+        };
+        plan.push(access);
+        if !*negated {
+            for t in &atom.terms {
+                if let CTerm::Var(s) = t {
+                    bound.insert(*s);
+                }
+            }
+        }
+    }
+    plan
 }
 
 /// Compile `rule`, registering predicates and interning constants.
 pub fn compile_rule(rule: &Rule, db: &mut Database) -> CRule {
+    compile_rule_with(rule, db, IndexMode::Auto)
+}
+
+/// [`compile_rule`] with an explicit index-selection policy.
+pub fn compile_rule_with(rule: &Rule, db: &mut Database, mode: IndexMode) -> CRule {
     fn catom(atom: &crate::ast::Atom, db: &mut Database) -> CAtom {
         let pred = db.pred(&atom.pred, atom.arity());
         let terms = atom
@@ -110,17 +227,34 @@ pub fn compile_rule(rule: &Rule, db: &mut Database) -> CRule {
         op,
         slot: slots[var],
     });
+    let plan = access_plan(&body, &[], mode);
+    let head_slots: Vec<u32> = head
+        .terms
+        .iter()
+        .filter_map(|t| match t {
+            CTerm::Var(s) => Some(*s),
+            CTerm::Const(_) => None,
+        })
+        .collect();
+    let check_plan = access_plan(&body, &head_slots, mode);
     CRule {
         head,
         body,
         nvars: next,
         agg,
+        plan,
+        check_plan,
     }
 }
 
 /// Compile all rules with non-empty bodies (facts are loaded separately
 /// via [`load_facts`]); also registers every predicate.
 pub fn compile_program(program: &Program, db: &mut Database) -> Vec<CRule> {
+    compile_program_with(program, db, IndexMode::Auto)
+}
+
+/// [`compile_program`] with an explicit index-selection policy.
+pub fn compile_program_with(program: &Program, db: &mut Database, mode: IndexMode) -> Vec<CRule> {
     // Register every predicate (even fact-only ones) first.
     for r in &program.rules {
         db.pred(&r.head.pred, r.head.arity());
@@ -131,10 +265,32 @@ pub fn compile_program(program: &Program, db: &mut Database) -> Vec<CRule> {
     program
         .rules
         .iter()
-        .filter(|r| !r.body.is_empty() || r.head.vars().is_empty())
         .filter(|r| !r.body.is_empty())
-        .map(|r| compile_rule(r, db))
+        .map(|r| compile_rule_with(r, db, mode))
         .collect()
+}
+
+/// Build every secondary index the rules' plans probe, so evaluation
+/// under `&Database` never takes a lock or mutates. Call at any `&mut`
+/// entry point before evaluating; re-ensuring is a cheap no-op.
+/// `include_check_plans` additionally covers [`rule_derives`]'s plans
+/// (only the DRed path needs those).
+pub fn ensure_indices(db: &mut Database, rules: &[CRule], include_check_plans: bool) {
+    fn ensure_plan(db: &mut Database, rule: &CRule, plan: &[Access]) {
+        for ((atom, _), access) in rule.body.iter().zip(plan) {
+            if let Access::Index(cols) = access {
+                if db.rel_mut(atom.pred).ensure_index(cols) {
+                    metrics().build.inc();
+                }
+            }
+        }
+    }
+    for rule in rules {
+        ensure_plan(db, rule, &rule.plan);
+        if include_check_plans {
+            ensure_plan(db, rule, &rule.check_plan);
+        }
+    }
 }
 
 /// Insert the program's ground facts into the database.
@@ -196,6 +352,14 @@ fn instantiate(atom: &CAtom, bind: &[Option<Value>]) -> Tuple {
         .collect()
 }
 
+/// The value of a plan-bound term (never an unbound variable).
+fn resolve(t: &CTerm, bind: &[Option<Value>]) -> Value {
+    match *t {
+        CTerm::Const(c) => c,
+        CTerm::Var(s) => bind[s as usize].expect("plan column is bound"),
+    }
+}
+
 /// How a pinned literal is interpreted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PinMode {
@@ -213,11 +377,20 @@ pub enum PinMode {
     NegLost,
 }
 
-/// A pinned body position.
+/// A pinned body position. The delta is a slice so callers can pin
+/// disjoint partitions of one logical delta from parallel workers.
+#[derive(Clone, Copy)]
 pub struct Pin<'a> {
     pub index: usize,
     pub mode: PinMode,
-    pub delta: &'a HashSet<Tuple>,
+    pub delta: &'a [Tuple],
+}
+
+/// Immutable per-evaluation context threaded through the join recursion.
+struct Ctx<'a> {
+    rule: &'a CRule,
+    plan: &'a [Access],
+    pin: Option<Pin<'a>>,
 }
 
 /// Evaluate `rule` against `db`, optionally pinning one body literal, and
@@ -231,9 +404,14 @@ pub fn eval_rule(db: &dyn Rels, rule: &CRule, pin: Option<Pin<'_>>, out: &mut dy
         rule.agg.is_none(),
         "aggregate rules are evaluated with eval_agg_rule, never pinned"
     );
+    let ctx = Ctx {
+        rule,
+        plan: &rule.plan,
+        pin,
+    };
     let mut bind: Vec<Option<Value>> = vec![None; rule.nvars as usize];
     let mut trail: Vec<u32> = Vec::new();
-    eval_from(db, rule, &pin, 0, &mut bind, &mut trail, out);
+    eval_from(db, &ctx, 0, &mut bind, &mut trail, out);
 }
 
 /// Evaluate an aggregate rule: collect the DISTINCT raw head bindings
@@ -247,9 +425,14 @@ pub fn eval_agg_rule(db: &dyn Rels, rule: &CRule) -> Vec<Tuple> {
     let agg = rule.agg.expect("eval_agg_rule requires an aggregate head");
     let mut raw: HashSet<Tuple> = HashSet::new();
     {
+        let ctx = Ctx {
+            rule,
+            plan: &rule.plan,
+            pin: None,
+        };
         let mut bind: Vec<Option<Value>> = vec![None; rule.nvars as usize];
         let mut trail: Vec<u32> = Vec::new();
-        eval_from(db, rule, &None, 0, &mut bind, &mut trail, &mut |t| {
+        eval_from(db, &ctx, 0, &mut bind, &mut trail, &mut |t| {
             raw.insert(t);
         });
     }
@@ -294,65 +477,55 @@ pub fn eval_agg_rule(db: &dyn Rels, rule: &CRule) -> Vec<Tuple> {
     out
 }
 
+/// Recurse over `tuples`, extending bindings via `matches`.
+macro_rules! join_loop {
+    ($db:ident, $ctx:ident, $depth:ident, $bind:ident, $trail:ident, $out:ident, $atom:ident, $tuples:expr, $extra:expr) => {
+        for tuple in $tuples {
+            let mark = $trail.len();
+            if matches($atom, tuple, $bind, $trail) {
+                if $extra(tuple) {
+                    eval_from($db, $ctx, $depth + 1, $bind, $trail, $out);
+                }
+                for &s in &$trail[mark..] {
+                    $bind[s as usize] = None;
+                }
+                $trail.truncate(mark);
+            }
+        }
+    };
+}
+
 fn eval_from(
     db: &dyn Rels,
-    rule: &CRule,
-    pin: &Option<Pin<'_>>,
+    ctx: &Ctx<'_>,
     depth: usize,
     bind: &mut Vec<Option<Value>>,
     trail: &mut Vec<u32>,
     out: &mut dyn FnMut(Tuple),
 ) {
-    if depth == rule.body.len() {
-        out(instantiate(&rule.head, bind));
+    if depth == ctx.rule.body.len() {
+        out(instantiate(&ctx.rule.head, bind));
         return;
     }
-    let (atom, negated) = &rule.body[depth];
-    let pinned_here = pin.as_ref().filter(|p| p.index == depth);
+    let (atom, negated) = &ctx.rule.body[depth];
+    let pinned_here = ctx.pin.as_ref().filter(|p| p.index == depth);
 
     if let Some(p) = pinned_here {
         match p.mode {
             PinMode::Positive => {
                 debug_assert!(!negated, "Positive pin on negated literal");
-                for tuple in p.delta {
-                    let mark = trail.len();
-                    if matches(atom, tuple, bind, trail) {
-                        eval_from(db, rule, pin, depth + 1, bind, trail, out);
-                        for &s in &trail[mark..] {
-                            bind[s as usize] = None;
-                        }
-                        trail.truncate(mark);
-                    }
-                }
+                join_loop!(db, ctx, depth, bind, trail, out, atom, p.delta, |_t| true);
             }
             PinMode::NegGained => {
                 debug_assert!(negated);
-                for tuple in p.delta {
-                    let mark = trail.len();
-                    if matches(atom, tuple, bind, trail) {
-                        // Only a *net* removal enables the derivation.
-                        if !db.relation(atom.pred).contains(tuple) {
-                            eval_from(db, rule, pin, depth + 1, bind, trail, out);
-                        }
-                        for &s in &trail[mark..] {
-                            bind[s as usize] = None;
-                        }
-                        trail.truncate(mark);
-                    }
-                }
+                // Only a *net* removal enables the derivation.
+                join_loop!(db, ctx, depth, bind, trail, out, atom, p.delta, |t| !db
+                    .relation(atom.pred)
+                    .contains(t));
             }
             PinMode::NegLost => {
                 debug_assert!(negated);
-                for tuple in p.delta {
-                    let mark = trail.len();
-                    if matches(atom, tuple, bind, trail) {
-                        eval_from(db, rule, pin, depth + 1, bind, trail, out);
-                        for &s in &trail[mark..] {
-                            bind[s as usize] = None;
-                        }
-                        trail.truncate(mark);
-                    }
-                }
+                join_loop!(db, ctx, depth, bind, trail, out, atom, p.delta, |_t| true);
             }
         }
         return;
@@ -362,38 +535,129 @@ fn eval_from(
         // Safety guarantees groundness here.
         let tuple = instantiate(atom, bind);
         if !db.relation(atom.pred).contains(&tuple) {
-            eval_from(db, rule, pin, depth + 1, bind, trail, out);
+            eval_from(db, ctx, depth + 1, bind, trail, out);
         }
         return;
     }
 
-    // Probe the first-column index when that position is already bound.
     let rel = db.relation(atom.pred);
-    let first_key = atom.terms.first().and_then(|t| match *t {
-        CTerm::Const(c) => Some(c),
-        CTerm::Var(s) => bind[s as usize],
-    });
-    if let Some(key) = first_key {
-        for tuple in rel.iter_first(key) {
-            let mark = trail.len();
-            if matches(atom, tuple, bind, trail) {
-                eval_from(db, rule, pin, depth + 1, bind, trail, out);
-                for &s in &trail[mark..] {
-                    bind[s as usize] = None;
-                }
-                trail.truncate(mark);
+    match &ctx.plan[depth] {
+        Access::AllBound => {
+            // Fully ground: one membership probe, no new bindings.
+            let tuple = instantiate(atom, bind);
+            metrics().hit.inc();
+            if rel.contains(&tuple) {
+                eval_from(db, ctx, depth + 1, bind, trail, out);
             }
         }
-        return;
-    }
-    for tuple in rel.iter() {
-        let mark = trail.len();
-        if matches(atom, tuple, bind, trail) {
-            eval_from(db, rule, pin, depth + 1, bind, trail, out);
-            for &s in &trail[mark..] {
-                bind[s as usize] = None;
+        Access::Index(cols) => {
+            let key: Vec<Value> = cols.iter().map(|&c| resolve(&atom.terms[c], bind)).collect();
+            match rel.probe(cols, &key) {
+                Some(p) => {
+                    let m = metrics();
+                    if p.is_empty() {
+                        m.miss.inc();
+                    } else {
+                        m.hit.inc();
+                    }
+                    join_loop!(db, ctx, depth, bind, trail, out, atom, p.iter(), |_t| true);
+                }
+                None => {
+                    // Index not built (e.g. evaluation through a read-only
+                    // view that never saw ensure_indices): stay correct
+                    // with a scan.
+                    metrics().scan.inc();
+                    join_loop!(db, ctx, depth, bind, trail, out, atom, rel.iter(), |_t| true);
+                }
             }
-            trail.truncate(mark);
+        }
+        Access::Scan => {
+            metrics().scan.inc();
+            join_loop!(db, ctx, depth, bind, trail, out, atom, rel.iter(), |_t| true);
+        }
+    }
+}
+
+/// Does `rule` derive the ground head tuple `t` under the current
+/// extents? Binds the head, then searches the body with the head-bound
+/// check plan and early exit — the per-candidate primitive behind DRed
+/// rederivation (no full rule re-evaluation).
+pub fn rule_derives(db: &dyn Rels, rule: &CRule, t: &[Value]) -> bool {
+    debug_assert!(rule.agg.is_none(), "aggregate cliques are re-evaluated, not rederived");
+    let mut bind: Vec<Option<Value>> = vec![None; rule.nvars as usize];
+    let mut trail: Vec<u32> = Vec::new();
+    if !matches(&rule.head, t, &mut bind, &mut trail) {
+        return false;
+    }
+    exists_from(db, rule, 0, &mut bind, &mut trail)
+}
+
+/// Early-exit body search for [`rule_derives`] (uses `check_plan`: head
+/// variables are already bound, so later atoms are far more constrained
+/// than in the forward plan).
+fn exists_from(
+    db: &dyn Rels,
+    rule: &CRule,
+    depth: usize,
+    bind: &mut Vec<Option<Value>>,
+    trail: &mut Vec<u32>,
+) -> bool {
+    if depth == rule.body.len() {
+        return true;
+    }
+    let (atom, negated) = &rule.body[depth];
+    if *negated {
+        let tuple = instantiate(atom, bind);
+        return !db.relation(atom.pred).contains(&tuple)
+            && exists_from(db, rule, depth + 1, bind, trail);
+    }
+    let rel = db.relation(atom.pred);
+
+    macro_rules! exists_loop {
+        ($tuples:expr) => {{
+            for tuple in $tuples {
+                let mark = trail.len();
+                if matches(atom, tuple, bind, trail) {
+                    if exists_from(db, rule, depth + 1, bind, trail) {
+                        return true;
+                    }
+                    for &s in &trail[mark..] {
+                        bind[s as usize] = None;
+                    }
+                    trail.truncate(mark);
+                }
+            }
+            false
+        }};
+    }
+
+    match &rule.check_plan[depth] {
+        Access::AllBound => {
+            let tuple = instantiate(atom, bind);
+            metrics().hit.inc();
+            rel.contains(&tuple) && exists_from(db, rule, depth + 1, bind, trail)
+        }
+        Access::Index(cols) => {
+            let key: Vec<Value> = cols.iter().map(|&c| resolve(&atom.terms[c], bind)).collect();
+            match rel.probe(cols, &key) {
+                Some(p) => {
+                    let m = metrics();
+                    if p.is_empty() {
+                        m.miss.inc();
+                    } else {
+                        m.hit.inc();
+                    }
+                    exists_loop!(p.iter())
+                }
+                None => {
+                    metrics().scan.inc();
+                    exists_loop!(rel.iter())
+                }
+            }
+        }
+        Access::Scan => {
+            metrics().scan.inc();
+            exists_loop!(rel.iter())
         }
     }
 }
@@ -401,6 +665,7 @@ fn eval_from(
 /// Naive evaluation to fixpoint over ALL rules — the reference semantics
 /// that semi-naive and the incremental paths are tested against.
 pub fn naive_fixpoint(db: &mut Database, rules: &[CRule]) {
+    ensure_indices(db, rules, false);
     loop {
         let mut additions: Vec<(PredId, Tuple)> = Vec::new();
         for rule in rules {
@@ -432,15 +697,8 @@ pub fn naive_fixpoint(db: &mut Database, rules: &[CRule]) {
 }
 
 /// Semi-naive fixpoint for one recursive clique, given that everything
-/// the clique depends on (outside itself) is final.
-///
-/// `scc_preds` lists the clique's predicates; `rules` are exactly the
-/// rules whose heads are in the clique. `seed[p]` holds the tuples of
-/// `p` that are *new* relative to the last fixpoint (already inserted
-/// into `db`); for initial evaluation call with `bootstrap = true`, which
-/// runs every rule unpinned once to produce the first delta.
-///
-/// Returns all tuples newly added, per predicate.
+/// the clique depends on (outside itself) is final. Sequential
+/// convenience wrapper over [`seminaive_scc_opts`].
 pub fn seminaive_scc(
     db: &mut Database,
     rules: &[CRule],
@@ -448,6 +706,33 @@ pub fn seminaive_scc(
     seed: HashMap<PredId, HashSet<Tuple>>,
     bootstrap: bool,
 ) -> HashMap<PredId, HashSet<Tuple>> {
+    seminaive_scc_opts(db, rules, scc_preds, seed, bootstrap, &EvalOptions::sequential())
+}
+
+/// Semi-naive fixpoint for one recursive clique.
+///
+/// `scc_preds` lists the clique's predicates; `rules` are exactly the
+/// rules whose heads are in the clique. `seed[p]` holds the tuples of
+/// `p` that are *new* relative to the last fixpoint (already inserted
+/// into `db`); for initial evaluation call with `bootstrap = true`, which
+/// runs every rule unpinned once to produce the first delta.
+///
+/// Each round pins every (rule, positive body position) pair whose
+/// predicate has a pending delta; with `opts.threads > 1` the pinned
+/// deltas are partitioned into chunks evaluated on the worker pool
+/// against the frozen database, and the per-worker buffers are merged
+/// with a deterministic sorted dedup before insertion.
+///
+/// Returns all tuples newly added, per predicate.
+pub fn seminaive_scc_opts(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+    seed: HashMap<PredId, HashSet<Tuple>>,
+    bootstrap: bool,
+    opts: &EvalOptions,
+) -> HashMap<PredId, HashSet<Tuple>> {
+    ensure_indices(db, rules, false);
     let mut added: HashMap<PredId, HashSet<Tuple>> =
         scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
     let mut delta: HashMap<PredId, HashSet<Tuple>> = seed;
@@ -456,23 +741,58 @@ pub fn seminaive_scc(
     }
 
     if bootstrap {
-        let mut fresh: Vec<(PredId, Tuple)> = Vec::new();
-        for rule in rules {
+        // Unpinned full evaluation of every rule. Rules whose first body
+        // atom is a positive scan are partitioned over that atom's extent
+        // (a Positive pin over the full extent is equivalent to the scan,
+        // and its chunks are disjoint), so large re-evaluations also
+        // parallelize; everything else runs sequentially.
+        let mut seq_fresh: Vec<(PredId, Tuple)> = Vec::new();
+        let mut extents: Vec<(usize, Vec<Tuple>)> = Vec::new();
+        for (i, rule) in rules.iter().enumerate() {
             let head = rule.head.pred;
             if rule.agg.is_some() {
                 for t in eval_agg_rule(db, rule) {
                     if !db.rel(head).contains(&t) {
-                        fresh.push((head, t));
+                        seq_fresh.push((head, t));
                     }
                 }
                 continue;
             }
-            eval_rule(db, rule, None, &mut |t| {
-                if !db.rel(head).contains(&t) {
-                    fresh.push((head, t));
-                }
-            });
+            let chunkable = matches!(rule.body.first(), Some((_, false)))
+                && rule.plan.first() == Some(&Access::Scan)
+                && !db.rel(rule.body[0].0.pred).is_empty();
+            if chunkable && opts.parallel() {
+                let mut ext: Vec<Tuple> =
+                    db.rel(rule.body[0].0.pred).iter().cloned().collect();
+                ext.sort_unstable();
+                extents.push((i, ext));
+            } else {
+                eval_rule(db, rule, None, &mut |t| {
+                    if !db.rel(head).contains(&t) {
+                        seq_fresh.push((head, t));
+                    }
+                });
+            }
         }
+        let mut jobs: Vec<PinJob<'_>> = Vec::new();
+        for (i, ext) in &extents {
+            for chunk in opts.chunks(ext) {
+                jobs.push(PinJob {
+                    rule: &rules[*i],
+                    pos: 0,
+                    mode: PinMode::Positive,
+                    chunk,
+                });
+            }
+        }
+        let mut fresh = eval_pin_jobs(
+            db,
+            &jobs,
+            |head, t| !db.rel(head).contains(t),
+            opts,
+            "par.bootstrap",
+        );
+        fresh.append(&mut seq_fresh);
         for (p, t) in fresh {
             if db.rel_mut(p).insert(t.clone()) {
                 delta.get_mut(&p).expect("head in scc").insert(t.clone());
@@ -482,9 +802,19 @@ pub fn seminaive_scc(
     }
 
     loop {
-        let mut fresh: Vec<(PredId, Tuple)> = Vec::new();
+        // Deterministically ordered delta lists so chunk boundaries (and
+        // therefore the merged output) do not depend on hash order.
+        let delta_lists: HashMap<PredId, Vec<Tuple>> = delta
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(&p, d)| {
+                let mut v: Vec<Tuple> = d.iter().cloned().collect();
+                v.sort_unstable();
+                (p, v)
+            })
+            .collect();
+        let mut jobs: Vec<PinJob<'_>> = Vec::new();
         for rule in rules {
-            let head = rule.head.pred;
             if rule.agg.is_some() {
                 // Aggregate rules never participate in delta rounds: their
                 // inputs are final (stratification) and they were fully
@@ -499,28 +829,29 @@ pub fn seminaive_scc(
                 if *negated {
                     continue;
                 }
-                let Some(d) = delta.get(&atom.pred) else {
+                let Some(list) = delta_lists.get(&atom.pred) else {
                     continue;
                 };
-                if d.is_empty() {
-                    continue;
-                }
-                eval_rule(
-                    db,
-                    rule,
-                    Some(Pin {
-                        index: j,
+                for chunk in opts.chunks(list) {
+                    jobs.push(PinJob {
+                        rule,
+                        pos: j,
                         mode: PinMode::Positive,
-                        delta: d,
-                    }),
-                    &mut |t| {
-                        if !db.rel(head).contains(&t) {
-                            fresh.push((head, t));
-                        }
-                    },
-                );
+                        chunk,
+                    });
+                }
             }
         }
+        if jobs.is_empty() {
+            return added;
+        }
+        let fresh = eval_pin_jobs(
+            db,
+            &jobs,
+            |head, t| !db.rel(head).contains(t),
+            opts,
+            "par.round",
+        );
         // Next round's delta = strictly new tuples.
         let mut next: HashMap<PredId, HashSet<Tuple>> =
             scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
@@ -568,6 +899,82 @@ mod tests {
     }
 
     #[test]
+    fn join_plans_pick_bound_columns() {
+        let (_db, rules) = setup(
+            "q(X, W) :- r(X, Y, Z), s(Y, Z, W).\n\
+             r(a, b, c). s(b, c, d).",
+        );
+        let rule = &rules[0];
+        // First atom: nothing bound -> scan; second: Y and Z bound, W not
+        // -> probe the two-column index.
+        assert_eq!(rule.plan[0], Access::Scan);
+        assert_eq!(rule.plan[1], Access::Index(vec![0, 1]));
+        // Check plan: head binds X and W, so r probes on column 0; after
+        // r binds Y and Z, every column of s is bound.
+        assert_eq!(rule.check_plan[0], Access::Index(vec![0]));
+        assert_eq!(rule.check_plan[1], Access::AllBound);
+    }
+
+    #[test]
+    fn fully_bound_atom_becomes_membership_check() {
+        let (_db, rules) = setup(
+            "q(X, Z) :- r(X, Y, Z), s(Y, Z).\n\
+             r(a, b, c). s(b, c).",
+        );
+        assert_eq!(rules[0].plan[1], Access::AllBound, "both columns bound");
+    }
+
+    #[test]
+    fn first_column_mode_reproduces_legacy_plan() {
+        let src = "q(X, Z) :- r(X, Y, Z), s(Y, Z).\n r(a, b, c). s(b, c).";
+        let prog = parse_program(src).unwrap();
+        let mut db = Database::new();
+        let rules = compile_program_with(&prog, &mut db, IndexMode::FirstColumn);
+        assert_eq!(rules[0].plan[0], Access::Scan);
+        // Position 0 of `s` is bound (Y), so legacy probes only column 0.
+        assert_eq!(rules[0].plan[1], Access::Index(vec![0]));
+    }
+
+    #[test]
+    fn multi_bound_join_uses_index_not_scan() {
+        let (mut db, rules) = setup(
+            "joined(A, C) :- fact3(A, B, C), link(B, C).\n\
+             fact3(a, b, c). fact3(a2, b, c). fact3(a3, x, y).\n\
+             link(b, c).",
+        );
+        incr_obs::registry().reset();
+        naive_fixpoint(&mut db, &rules);
+        let snap = incr_obs::registry().snapshot();
+        let counters = snap.get("counters").unwrap();
+        let hits = counters
+            .get("datalog.index.hit")
+            .and_then(incr_obs::Json::as_u64)
+            .unwrap_or(0);
+        assert!(hits > 0, "multi-bound probe must hit the [0,1] index");
+        assert_eq!(db.pred_id("joined").map(|p| db.rel(p).len()), Some(2));
+    }
+
+    #[test]
+    fn rule_derives_checks_single_candidates() {
+        let (mut db, rules) = setup(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+             edge(a, b). edge(b, c).",
+        );
+        naive_fixpoint(&mut db, &rules);
+        ensure_indices(&mut db, &rules, true);
+        let a = Value::Sym(db.interner.get("a").unwrap());
+        let b = Value::Sym(db.interner.get("b").unwrap());
+        let c = Value::Sym(db.interner.get("c").unwrap());
+        let base = &rules[0];
+        let rec = &rules[1];
+        assert!(rule_derives(&db, base, &[a, b]));
+        assert!(!rule_derives(&db, base, &[a, c]), "no direct edge a->c");
+        assert!(rule_derives(&db, rec, &[a, c]), "via path(a,b), edge(b,c)");
+        assert!(!rule_derives(&db, rec, &[c, a]));
+    }
+
+    #[test]
     fn seminaive_matches_naive() {
         let src = "path(X, Y) :- edge(X, Y).\n\
                    path(X, Z) :- path(X, Y), edge(Y, Z).\n\
@@ -588,6 +995,30 @@ mod tests {
         assert_eq!(db1.rel(path).sorted(), db2.rel(path).sorted());
         // Cycle a->b->c->a: 3x4 pairs reach d plus cycle pairs.
         assert!(db2.has_fact("path", &["a", "a"]));
+    }
+
+    #[test]
+    fn seminaive_parallel_matches_sequential() {
+        let src = "path(X, Y) :- edge(X, Y).\n\
+                   path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                   edge(a, b). edge(b, c). edge(c, a). edge(c, d). edge(d, e).\n\
+                   edge(e, a). edge(b, e).";
+        let run = |opts: &EvalOptions| {
+            let (mut db, rules) = setup(src);
+            let path = db.pred_id("path").unwrap();
+            let scc_rules: Vec<CRule> = rules
+                .iter()
+                .filter(|r| r.head.pred == path)
+                .cloned()
+                .collect();
+            seminaive_scc_opts(&mut db, &scc_rules, &[path], HashMap::new(), true, opts);
+            db.rel(path).sorted()
+        };
+        let seq = run(&EvalOptions::sequential());
+        let mut par_opts = EvalOptions::with_threads(4);
+        par_opts.min_parallel_tuples = 0; // force the pool even on tiny deltas
+        let par = run(&par_opts);
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -634,10 +1065,9 @@ mod tests {
              e(a, b). e(b, c).",
         );
         let rule = &rules[0];
-        let mut delta = HashSet::new();
         let a = db.interner.get("a").unwrap();
         let b = db.interner.get("b").unwrap();
-        delta.insert(vec![Value::Sym(a), Value::Sym(b)]);
+        let delta = vec![vec![Value::Sym(a), Value::Sym(b)]];
         let mut got = Vec::new();
         eval_rule(
             &db,

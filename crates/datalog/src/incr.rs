@@ -10,16 +10,23 @@
 //!    for negated literals), evaluated against a *snapshot of the old
 //!    state*; cascade within the clique; remove all candidates.
 //! 2. **Rederive** — candidates with surviving alternative derivations
-//!    are reinstated.
+//!    are reinstated, checked per candidate with the head-bound plan
+//!    ([`rule_derives`]) instead of re-evaluating whole rules.
 //! 3. **Insert** — semi-naive propagation of added input tuples (and of
 //!    derivations newly enabled by removed blockers) to fixpoint.
+//!
+//! Every phase fans its pinned deltas (or candidate lists) out across the
+//! worker pool when [`EvalOptions`] allows — deltas are sorted before
+//! chunking and merged with a sorted dedup, so the result is independent
+//! of thread count.
 //!
 //! The output delta per predicate is the exact set difference between the
 //! old and new extents, so downstream tasks see *net* changes only — a
 //! task whose inputs changed but whose output did not fires no edges,
 //! which is precisely the "activation may stop" behaviour of §II-A.
 
-use crate::eval::{eval_rule, seminaive_scc, CRule, Pin, PinMode, Rels};
+use crate::eval::{ensure_indices, rule_derives, seminaive_scc_opts, CRule, PinMode, Rels};
+use crate::par::{collect_jobs, eval_pin_jobs, EvalOptions, PinJob};
 use crate::rel::{Database, PredId, Relation};
 use crate::value::Tuple;
 use incr_obs::trace;
@@ -55,221 +62,12 @@ impl Rels for OldView<'_> {
     }
 }
 
-/// Apply an update to one clique.
-///
-/// * `rules` — the rules whose heads are in this clique.
-/// * `scc_preds` — the clique's predicates.
-/// * `input` — final deltas of the *external* predicates this clique
-///   reads (upstream cliques' outputs or base-table edits), already
-///   applied to `db`.
-///
-/// Returns the clique's own net output delta per predicate.
-pub fn update_scc(
-    db: &mut Database,
-    rules: &[CRule],
+/// Exact old-vs-new extent diff for the clique predicates.
+fn net_deltas(
+    db: &Database,
     scc_preds: &[PredId],
-    input: &HashMap<PredId, Delta>,
+    old_scc: &HashMap<PredId, Relation>,
 ) -> HashMap<PredId, Delta> {
-    // Old extents: inputs rolled back, clique preds as they stand.
-    let mut old: HashMap<PredId, Relation> = HashMap::new();
-    for (&p, d) in input {
-        if d.is_empty() {
-            continue;
-        }
-        let mut r = db.rel(p).clone();
-        for t in &d.added {
-            r.remove(t);
-        }
-        for t in &d.removed {
-            r.insert(t.clone());
-        }
-        old.insert(p, r);
-    }
-    let old_scc: HashMap<PredId, Relation> = scc_preds
-        .iter()
-        .map(|&p| (p, db.rel(p).clone()))
-        .collect();
-
-    // ---- Phase 1: overdeletion against the old view. ----
-    let dred_overdelete = trace::span("datalog", "dred.overdelete");
-    let mut deleted: HashMap<PredId, HashSet<Tuple>> =
-        scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
-    {
-        let view = OldView { db, old: &old };
-        let mut worklist: Vec<(PredId, Tuple)> = Vec::new();
-        let emit =
-            |head: PredId,
-             t: Tuple,
-             deleted: &mut HashMap<PredId, HashSet<Tuple>>,
-             worklist: &mut Vec<(PredId, Tuple)>,
-             present: &dyn Fn(PredId, &Tuple) -> bool| {
-                if present(head, &t) && deleted.get_mut(&head).expect("scc head").insert(t.clone())
-                {
-                    worklist.push((head, t));
-                }
-            };
-        let present = |p: PredId, t: &Tuple| old_scc[&p].contains(t);
-
-        // Seeds from the input deltas.
-        for rule in rules {
-            let head = rule.head.pred;
-            for (j, (atom, negated)) in rule.body.iter().enumerate() {
-                let Some(d) = input.get(&atom.pred) else {
-                    continue;
-                };
-                if !*negated && !d.removed.is_empty() {
-                    eval_rule(
-                        &view,
-                        rule,
-                        Some(Pin {
-                            index: j,
-                            mode: PinMode::Positive,
-                            delta: &d.removed,
-                        }),
-                        &mut |t| emit(head, t, &mut deleted, &mut worklist, &present),
-                    );
-                }
-                if *negated && !d.added.is_empty() {
-                    eval_rule(
-                        &view,
-                        rule,
-                        Some(Pin {
-                            index: j,
-                            mode: PinMode::NegLost,
-                            delta: &d.added,
-                        }),
-                        &mut |t| emit(head, t, &mut deleted, &mut worklist, &present),
-                    );
-                }
-            }
-        }
-        // Cascade within the clique (negation inside a clique is rejected
-        // by stratification, so only positive pins occur).
-        while !worklist.is_empty() {
-            let round = std::mem::take(&mut worklist);
-            let mut round_sets: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
-            for (p, t) in round {
-                round_sets.entry(p).or_default().insert(t);
-            }
-            for rule in rules {
-                let head = rule.head.pred;
-                for (j, (atom, negated)) in rule.body.iter().enumerate() {
-                    if *negated {
-                        continue;
-                    }
-                    let Some(d) = round_sets.get(&atom.pred) else {
-                        continue;
-                    };
-                    eval_rule(
-                        &view,
-                        rule,
-                        Some(Pin {
-                            index: j,
-                            mode: PinMode::Positive,
-                            delta: d,
-                        }),
-                        &mut |t| emit(head, t, &mut deleted, &mut worklist, &present),
-                    );
-                }
-            }
-        }
-    }
-    for (&p, ts) in &deleted {
-        for t in ts {
-            db.rel_mut(p).remove(t);
-        }
-    }
-    let overdeleted: usize = deleted.values().map(|s| s.len()).sum();
-    dred_overdelete.end_args(vec![("overdeleted", (overdeleted as u64).into())]);
-
-    // ---- Phase 2: rederive overdeleted tuples with other derivations. ----
-    // Evaluate each clique rule over the *current* state and reinstate any
-    // head that was overdeleted; iterate to fixpoint via the semi-naive
-    // seed below (rederived tuples count as insertions).
-    let dred_rederive = trace::span("datalog", "dred.rederive");
-    let mut seed: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
-    {
-        let mut rederived: Vec<(PredId, Tuple)> = Vec::new();
-        loop {
-            rederived.clear();
-            for rule in rules {
-                let head = rule.head.pred;
-                let dels = &deleted[&head];
-                if dels.is_empty() {
-                    continue;
-                }
-                eval_rule(&*db, rule, None, &mut |t| {
-                    if dels.contains(&t) && !db.rel(head).contains(&t) {
-                        rederived.push((head, t));
-                    }
-                });
-            }
-            if rederived.is_empty() {
-                break;
-            }
-            for (p, t) in rederived.drain(..) {
-                if db.rel_mut(p).insert(t.clone()) {
-                    seed.entry(p).or_default().insert(t);
-                }
-            }
-        }
-    }
-    let rederived_total: usize = seed.values().map(|s| s.len()).sum();
-    dred_rederive.end_args(vec![("rederived", (rederived_total as u64).into())]);
-
-    // ---- Phase 3: insertions (added inputs + removed blockers). ----
-    let dred_insert = trace::span("datalog", "dred.insert");
-    for rule in rules {
-        let head = rule.head.pred;
-        for (j, (atom, negated)) in rule.body.iter().enumerate() {
-            let Some(d) = input.get(&atom.pred) else {
-                continue;
-            };
-            if !*negated && !d.added.is_empty() {
-                let mut fresh = Vec::new();
-                eval_rule(
-                    &*db,
-                    rule,
-                    Some(Pin {
-                        index: j,
-                        mode: PinMode::Positive,
-                        delta: &d.added,
-                    }),
-                    &mut |t| fresh.push(t),
-                );
-                for t in fresh {
-                    if db.rel_mut(head).insert(t.clone()) {
-                        seed.entry(head).or_default().insert(t);
-                    }
-                }
-            }
-            if *negated && !d.removed.is_empty() {
-                let mut fresh = Vec::new();
-                eval_rule(
-                    &*db,
-                    rule,
-                    Some(Pin {
-                        index: j,
-                        mode: PinMode::NegGained,
-                        delta: &d.removed,
-                    }),
-                    &mut |t| fresh.push(t),
-                );
-                for t in fresh {
-                    if db.rel_mut(head).insert(t.clone()) {
-                        seed.entry(head).or_default().insert(t);
-                    }
-                }
-            }
-        }
-    }
-    let inserted_seed: usize = seed.values().map(|s| s.len()).sum::<usize>() - rederived_total;
-    if !seed.is_empty() {
-        seminaive_scc(db, rules, scc_preds, seed, false);
-    }
-    dred_insert.end_args(vec![("seed_inserts", (inserted_seed as u64).into())]);
-
-    // ---- Net output delta: exact old-vs-new diff. ----
     let mut out: HashMap<PredId, Delta> = HashMap::new();
     for &p in scc_preds {
         let old_rel = &old_scc[&p];
@@ -290,15 +88,315 @@ pub fn update_scc(
     out
 }
 
+/// Sorted list of a delta set — deterministic chunk boundaries for the
+/// parallel fan-out.
+fn sorted_list(set: &HashSet<Tuple>) -> Vec<Tuple> {
+    let mut v: Vec<Tuple> = set.iter().cloned().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Apply an update to one clique (sequential convenience wrapper over
+/// [`update_scc_opts`]).
+pub fn update_scc(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+    input: &HashMap<PredId, Delta>,
+) -> HashMap<PredId, Delta> {
+    update_scc_opts(db, rules, scc_preds, input, &EvalOptions::sequential())
+}
+
+/// Apply an update to one clique.
+///
+/// * `rules` — the rules whose heads are in this clique.
+/// * `scc_preds` — the clique's predicates.
+/// * `input` — final deltas of the *external* predicates this clique
+///   reads (upstream cliques' outputs or base-table edits), already
+///   applied to `db`.
+///
+/// Returns the clique's own net output delta per predicate.
+pub fn update_scc_opts(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+    input: &HashMap<PredId, Delta>,
+    opts: &EvalOptions,
+) -> HashMap<PredId, Delta> {
+    // Build indices BEFORE cloning old extents so the snapshots (and the
+    // OldView evaluations over them) probe instead of scanning. Includes
+    // the check plans for the rederive phase.
+    ensure_indices(db, rules, true);
+
+    // Old extents: inputs rolled back, clique preds as they stand.
+    let mut old: HashMap<PredId, Relation> = HashMap::new();
+    for (&p, d) in input {
+        if d.is_empty() {
+            continue;
+        }
+        let mut r = db.rel(p).clone();
+        for t in &d.added {
+            r.remove(t);
+        }
+        for t in &d.removed {
+            r.insert(t.clone());
+        }
+        old.insert(p, r);
+    }
+    let old_scc: HashMap<PredId, Relation> = scc_preds
+        .iter()
+        .map(|&p| (p, db.rel(p).clone()))
+        .collect();
+
+    // Sorted input delta lists, shared by the overdelete seeds (removed /
+    // added-through-negation) and the insert seeds.
+    let input_lists: HashMap<PredId, (Vec<Tuple>, Vec<Tuple>)> = input
+        .iter()
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(&p, d)| (p, (sorted_list(&d.added), sorted_list(&d.removed))))
+        .collect();
+
+    // ---- Phase 1: overdeletion against the old view. ----
+    let dred_overdelete = trace::span("datalog", "dred.overdelete");
+    let mut deleted: HashMap<PredId, HashSet<Tuple>> =
+        scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
+    {
+        let view = OldView { db, old: &old };
+
+        // Seeds from the input deltas.
+        let mut jobs: Vec<PinJob<'_>> = Vec::new();
+        for rule in rules {
+            for (j, (atom, negated)) in rule.body.iter().enumerate() {
+                let Some((added, removed)) = input_lists.get(&atom.pred) else {
+                    continue;
+                };
+                if !*negated {
+                    for chunk in opts.chunks(removed) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::Positive,
+                            chunk,
+                        });
+                    }
+                } else {
+                    for chunk in opts.chunks(added) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::NegLost,
+                            chunk,
+                        });
+                    }
+                }
+            }
+        }
+        let mut fresh = eval_pin_jobs(
+            &view,
+            &jobs,
+            |head, t| old_scc[&head].contains(t),
+            opts,
+            "par.overdelete",
+        );
+
+        // Cascade within the clique (negation inside a clique is rejected
+        // by stratification, so only positive pins occur). `deleted` is
+        // frozen during each parallel evaluation and mutated only in the
+        // merge between rounds.
+        loop {
+            let mut round: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+            for (p, t) in fresh {
+                if deleted.get_mut(&p).expect("scc head").insert(t.clone()) {
+                    round.entry(p).or_default().push(t);
+                }
+            }
+            if round.is_empty() {
+                break;
+            }
+            for list in round.values_mut() {
+                list.sort_unstable();
+            }
+            let mut jobs: Vec<PinJob<'_>> = Vec::new();
+            for rule in rules {
+                for (j, (atom, negated)) in rule.body.iter().enumerate() {
+                    if *negated {
+                        continue;
+                    }
+                    let Some(list) = round.get(&atom.pred) else {
+                        continue;
+                    };
+                    for chunk in opts.chunks(list) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::Positive,
+                            chunk,
+                        });
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            fresh = eval_pin_jobs(
+                &view,
+                &jobs,
+                |head, t| old_scc[&head].contains(t) && !deleted[&head].contains(t),
+                opts,
+                "par.overdelete",
+            );
+        }
+    }
+    for (&p, ts) in &deleted {
+        for t in ts {
+            db.rel_mut(p).remove(t);
+        }
+    }
+    let overdeleted: usize = deleted.values().map(|s| s.len()).sum();
+    dred_overdelete.end_args(vec![("overdeleted", (overdeleted as u64).into())]);
+
+    // ---- Phase 2: rederive overdeleted tuples with other derivations. ----
+    // Each overdeleted tuple is checked individually with the head-bound
+    // plan: does any clique rule still derive it from the current state?
+    // Candidate lists fan out across the pool; rounds iterate because one
+    // reinstated tuple can support another's alternative derivation.
+    let dred_rederive = trace::span("datalog", "dred.rederive");
+    let mut seed: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
+    {
+        let mut rules_by_head: HashMap<PredId, Vec<&CRule>> = HashMap::new();
+        for rule in rules {
+            rules_by_head.entry(rule.head.pred).or_default().push(rule);
+        }
+        loop {
+            let cand_lists: Vec<(PredId, Vec<Tuple>)> = deleted
+                .iter()
+                .filter(|(p, _)| rules_by_head.contains_key(p))
+                .map(|(&p, ts)| {
+                    let mut v: Vec<Tuple> = ts
+                        .iter()
+                        .filter(|t| !db.rel(p).contains(t))
+                        .cloned()
+                        .collect();
+                    v.sort_unstable();
+                    (p, v)
+                })
+                .filter(|(_, v)| !v.is_empty())
+                .collect();
+            let total: usize = cand_lists.iter().map(|(_, v)| v.len()).sum();
+            if total == 0 {
+                break;
+            }
+            let mut jobs: Vec<(PredId, &[Tuple])> = Vec::new();
+            for (p, list) in &cand_lists {
+                for chunk in opts.chunks(list) {
+                    jobs.push((*p, chunk));
+                }
+            }
+            let dbr: &Database = db;
+            let fresh: Vec<(PredId, Tuple)> = collect_jobs(
+                opts,
+                total,
+                jobs.len(),
+                |i, out: &mut Vec<(PredId, Tuple)>| {
+                    let (p, chunk) = jobs[i];
+                    let rs = &rules_by_head[&p];
+                    for t in chunk {
+                        if rs.iter().any(|r| rule_derives(dbr, r, t)) {
+                            out.push((p, t.clone()));
+                        }
+                    }
+                },
+                "par.rederive",
+            );
+            if fresh.is_empty() {
+                break;
+            }
+            for (p, t) in fresh {
+                if db.rel_mut(p).insert(t.clone()) {
+                    seed.entry(p).or_default().insert(t);
+                }
+            }
+        }
+    }
+    let rederived_total: usize = seed.values().map(|s| s.len()).sum();
+    dred_rederive.end_args(vec![("rederived", (rederived_total as u64).into())]);
+
+    // ---- Phase 3: insertions (added inputs + removed blockers). ----
+    // All pins evaluate against the post-rederive state; anything one
+    // insertion enables through a clique predicate is picked up by the
+    // semi-naive rounds below (the seed carries every insert).
+    let dred_insert = trace::span("datalog", "dred.insert");
+    {
+        let mut jobs: Vec<PinJob<'_>> = Vec::new();
+        for rule in rules {
+            for (j, (atom, negated)) in rule.body.iter().enumerate() {
+                let Some((added, removed)) = input_lists.get(&atom.pred) else {
+                    continue;
+                };
+                if !*negated {
+                    for chunk in opts.chunks(added) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::Positive,
+                            chunk,
+                        });
+                    }
+                } else {
+                    for chunk in opts.chunks(removed) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::NegGained,
+                            chunk,
+                        });
+                    }
+                }
+            }
+        }
+        let dbr: &Database = db;
+        let fresh = eval_pin_jobs(
+            dbr,
+            &jobs,
+            |head, t| !dbr.rel(head).contains(t),
+            opts,
+            "par.insert",
+        );
+        for (p, t) in fresh {
+            if db.rel_mut(p).insert(t.clone()) {
+                seed.entry(p).or_default().insert(t);
+            }
+        }
+    }
+    let inserted_seed: usize = seed.values().map(|s| s.len()).sum::<usize>() - rederived_total;
+    if !seed.is_empty() {
+        seminaive_scc_opts(db, rules, scc_preds, seed, false, opts);
+    }
+    dred_insert.end_args(vec![("seed_inserts", (inserted_seed as u64).into())]);
+
+    // ---- Net output delta: exact old-vs-new diff. ----
+    net_deltas(db, scc_preds, &old_scc)
+}
+
+/// Sequential convenience wrapper over [`reevaluate_scc_opts`].
+pub fn reevaluate_scc(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+) -> HashMap<PredId, Delta> {
+    reevaluate_scc_opts(db, rules, scc_preds, &EvalOptions::sequential())
+}
+
 /// Re-evaluate one clique from scratch against its (unchanged) inputs and
 /// return the net delta — the primitive behind incremental *rule* changes
 /// ("the rule definitions change", §I). The clique's extents are cleared
 /// and re-derived with the current rule set; downstream propagation stays
 /// incremental via the returned delta.
-pub fn reevaluate_scc(
+pub fn reevaluate_scc_opts(
     db: &mut Database,
     rules: &[CRule],
     scc_preds: &[PredId],
+    opts: &EvalOptions,
 ) -> HashMap<PredId, Delta> {
     let _span = trace::span_with(
         "datalog",
@@ -311,28 +409,12 @@ pub fn reevaluate_scc(
         .collect();
     for &p in scc_preds {
         let arity = db.rel(p).arity();
+        // Fresh relations drop this clique's indices too; the semi-naive
+        // bootstrap re-ensures whatever the plans need.
         *db.rel_mut(p) = Relation::new(arity);
     }
-    crate::eval::seminaive_scc(db, rules, scc_preds, HashMap::new(), true);
-
-    let mut out: HashMap<PredId, Delta> = HashMap::new();
-    for &p in scc_preds {
-        let old_rel = &old_scc[&p];
-        let new_rel = db.rel(p);
-        let mut d = Delta::default();
-        for t in new_rel.iter() {
-            if !old_rel.contains(t) {
-                d.added.insert(t.clone());
-            }
-        }
-        for t in old_rel.iter() {
-            if !new_rel.contains(t) {
-                d.removed.insert(t.clone());
-            }
-        }
-        out.insert(p, d);
-    }
-    out
+    seminaive_scc_opts(db, rules, scc_preds, HashMap::new(), true, opts);
+    net_deltas(db, scc_preds, &old_scc)
 }
 
 #[cfg(test)]
@@ -360,11 +442,12 @@ mod tests {
     const TC: &str = "path(X, Y) :- edge(X, Y).\n\
                       path(X, Z) :- path(X, Y), edge(Y, Z).\n";
 
-    fn tc_update(
+    fn tc_update_opts(
         db: &mut Database,
         rules: &[CRule],
         add: &[(&str, &str)],
         del: &[(&str, &str)],
+        opts: &EvalOptions,
     ) -> HashMap<PredId, Delta> {
         let edge = db.pred_id("edge").unwrap();
         let path = db.pred_id("path").unwrap();
@@ -387,7 +470,16 @@ mod tests {
             .filter(|r| r.head.pred == path)
             .cloned()
             .collect();
-        update_scc(db, &path_rules, &[path], &input)
+        update_scc_opts(db, &path_rules, &[path], &input, opts)
+    }
+
+    fn tc_update(
+        db: &mut Database,
+        rules: &[CRule],
+        add: &[(&str, &str)],
+        del: &[(&str, &str)],
+    ) -> HashMap<PredId, Delta> {
+        tc_update_opts(db, rules, add, del, &EvalOptions::sequential())
     }
 
     #[test]
@@ -455,6 +547,37 @@ mod tests {
             // order, so raw comparison is meaningful.
             v
         });
+    }
+
+    #[test]
+    fn parallel_update_matches_sequential() {
+        // The same mixed edit run under threads=1 and threads=4 (pool
+        // forced) must leave identical extents and identical net deltas.
+        let base = format!(
+            "{TC} edge(a, b). edge(b, c). edge(c, a). edge(a, c). edge(c, d). edge(d, e)."
+        );
+        let run = |opts: &EvalOptions| {
+            let (mut db, rules) = setup(&base);
+            let out = tc_update_opts(
+                &mut db,
+                &rules,
+                &[("e", "a"), ("b", "f")],
+                &[("b", "c"), ("c", "d")],
+                opts,
+            );
+            let path = db.pred_id("path").unwrap();
+            let d = &out[&path];
+            (
+                db.rel(path).sorted(),
+                sorted_list(&d.added),
+                sorted_list(&d.removed),
+            )
+        };
+        let seq = run(&EvalOptions::sequential());
+        let mut par_opts = EvalOptions::with_threads(4);
+        par_opts.min_parallel_tuples = 0;
+        let par = run(&par_opts);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod ast;
 pub mod engine;
 pub mod eval;
 pub mod incr;
+pub mod par;
 pub mod parser;
 pub mod query;
 pub mod rel;
@@ -33,8 +34,13 @@ pub mod stratify;
 pub mod taskgraph;
 pub mod value;
 
+#[cfg(test)]
+mod proptests;
+
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use engine::{FactEdit, IncrementalEngine, UpdateReport};
+pub use eval::{Access, IndexMode};
+pub use par::EvalOptions;
 pub use parser::parse_program;
 pub use query::{parse_pattern, query, Pat};
 pub use rel::{Database, Relation};

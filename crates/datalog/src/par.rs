@@ -1,0 +1,490 @@
+//! Parallel delta evaluation: a persistent worker pool that partitions
+//! the pinned delta of each semi-naive round (and each DRed phase)
+//! across workers.
+//!
+//! The pool adapts the scoped-thread pattern of
+//! `crates/runtime/src/executor.rs` into a *persistent* pool: workers are
+//! spawned once per [`EvalOptions`] clone family and reused for every
+//! round, because semi-naive fixpoints run many short rounds and
+//! per-round thread spawning would dominate. Each `run` installs a
+//! lifetime-erased job region, workers pull job indices from a shared
+//! cursor, and the coordinator blocks until every worker has checked in —
+//! that barrier is what makes the lifetime erasure sound (the borrowed
+//! closure outlives all uses).
+//!
+//! Determinism: callers hand the pool *chunks of sorted delta lists* and
+//! merge per-job output buffers with a sorted dedup, so the merged result
+//! is a pure function of the inputs regardless of worker interleaving.
+//! `threads = 1` never touches the pool at all and reproduces the
+//! sequential evaluator exactly.
+
+use crate::eval::{eval_rule, CRule, IndexMode, Pin, PinMode, Rels};
+use crate::rel::PredId;
+use crate::value::Tuple;
+use incr_obs::trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Evaluation knobs threaded through `seminaive_scc_opts`,
+/// `update_scc_opts` and the engine.
+#[derive(Clone)]
+pub struct EvalOptions {
+    /// Worker count. `1` (or `0`) evaluates sequentially on the calling
+    /// thread, bit-for-bit identical to the pre-pool evaluator.
+    pub threads: usize,
+    /// Deltas smaller than this stay on the calling thread even when
+    /// `threads > 1` — fan-out overhead swamps tiny rounds.
+    pub min_parallel_tuples: usize,
+    /// Index selection policy for rules compiled by the engine.
+    pub index_mode: IndexMode,
+    /// Lazily-spawned shared pool (never created in sequential mode).
+    pool: Arc<OnceLock<WorkerPool>>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        EvalOptions::with_threads(threads)
+    }
+}
+
+impl std::fmt::Debug for EvalOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalOptions")
+            .field("threads", &self.threads)
+            .field("min_parallel_tuples", &self.min_parallel_tuples)
+            .field("index_mode", &self.index_mode)
+            .finish()
+    }
+}
+
+impl EvalOptions {
+    pub fn with_threads(threads: usize) -> Self {
+        EvalOptions {
+            threads,
+            min_parallel_tuples: 256,
+            index_mode: IndexMode::Auto,
+            pool: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Today's single-threaded behavior, exactly.
+    pub fn sequential() -> Self {
+        EvalOptions::with_threads(1)
+    }
+
+    pub fn parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// The pool, iff this workload is worth fanning out.
+    fn pool_for(&self, total_tuples: usize, jobs: usize) -> Option<&WorkerPool> {
+        if self.threads <= 1 || jobs < 2 || total_tuples < self.min_parallel_tuples {
+            return None;
+        }
+        Some(self.pool.get_or_init(|| WorkerPool::new(self.threads)))
+    }
+
+    /// Split a sorted delta list into per-job chunks. Sequential mode
+    /// yields the whole list as one chunk; parallel mode aims for ~4
+    /// chunks per worker (load balancing without tiny jobs).
+    pub fn chunks<'a>(&self, list: &'a [Tuple]) -> impl Iterator<Item = &'a [Tuple]> {
+        let size = if self.threads <= 1 {
+            list.len().max(1)
+        } else {
+            list.len().div_ceil(self.threads * 4).max(64)
+        };
+        list.chunks(size)
+    }
+}
+
+/// One pinned evaluation unit: evaluate `rule` with body position `pos`
+/// pinned to `chunk` under `mode`.
+pub(crate) struct PinJob<'a> {
+    pub rule: &'a CRule,
+    pub pos: usize,
+    pub mode: PinMode,
+    pub chunk: &'a [Tuple],
+}
+
+/// Evaluate every job (in parallel when worthwhile) and return the
+/// deduplicated, sorted list of `(head, tuple)` derivations passing
+/// `keep`. The database is only read, never written — callers merge the
+/// returned list themselves.
+pub(crate) fn eval_pin_jobs<R, F>(
+    db: &R,
+    jobs: &[PinJob<'_>],
+    keep: F,
+    opts: &EvalOptions,
+    span_name: &'static str,
+) -> Vec<(PredId, Tuple)>
+where
+    R: Rels + Sync,
+    F: Fn(PredId, &Tuple) -> bool + Sync,
+{
+    let total: usize = jobs.iter().map(|j| j.chunk.len()).sum();
+    collect_jobs(
+        opts,
+        total,
+        jobs.len(),
+        |i, out: &mut Vec<(PredId, Tuple)>| {
+            let job = &jobs[i];
+            let head = job.rule.head.pred;
+            eval_rule(
+                db,
+                job.rule,
+                Some(Pin {
+                    index: job.pos,
+                    mode: job.mode,
+                    delta: job.chunk,
+                }),
+                &mut |t| {
+                    if keep(head, &t) {
+                        out.push((head, t));
+                    }
+                },
+            );
+        },
+        span_name,
+    )
+}
+
+/// Run `njobs` jobs, each appending to its own buffer, and merge the
+/// buffers into one sorted, deduplicated list. Parallel when the options
+/// and workload justify it; otherwise on the calling thread, same code
+/// path per job.
+pub(crate) fn collect_jobs<T, F>(
+    opts: &EvalOptions,
+    total_tuples: usize,
+    njobs: usize,
+    run_one: F,
+    span_name: &'static str,
+) -> Vec<T>
+where
+    T: Send + Ord,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    let mut flat: Vec<T> = match opts.pool_for(total_tuples, njobs) {
+        Some(pool) => {
+            let span = trace::enabled().then(|| {
+                trace::span_with(
+                    "datalog",
+                    span_name,
+                    vec![
+                        ("jobs", (njobs as u64).into()),
+                        ("tuples", (total_tuples as u64).into()),
+                        ("threads", (pool.workers() as u64).into()),
+                    ],
+                )
+            });
+            let buffers = pool.run_buffered(njobs, |i, out| run_one(i, out));
+            drop(span);
+            buffers.into_iter().flatten().collect()
+        }
+        None => {
+            let mut flat = Vec::new();
+            for i in 0..njobs {
+                run_one(i, &mut flat);
+            }
+            flat
+        }
+    };
+    // Deterministic merge: output is independent of chunking and worker
+    // interleaving (jobs may derive the same tuple from different chunks).
+    flat.sort_unstable();
+    flat.dedup();
+    flat
+}
+
+/// Type-erased borrowed job: `&'static` is a lie made safe by the run
+/// barrier (see `WorkerPool::run`).
+#[derive(Clone, Copy)]
+struct RawJob(&'static (dyn Fn(usize) + Sync));
+
+// SAFETY: the referent is Sync and the reference is only dereferenced
+// between region installation and the completion barrier.
+unsafe impl Send for RawJob {}
+
+struct Region {
+    job: RawJob,
+    n: usize,
+    cursor: Arc<AtomicUsize>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped per region; workers wait for a change.
+    epoch: u64,
+    region: Option<Region>,
+    /// Workers that finished the current region.
+    finished: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Persistent worker pool. Workers sleep on a condvar between regions.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls (the region slot is single-occupancy).
+    run_lock: Mutex<()>,
+}
+
+impl WorkerPool {
+    pub fn new(threads: usize) -> WorkerPool {
+        let workers = threads.max(2);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("datalog-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn datalog worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f(0..n)` across the workers; returns after ALL workers have
+    /// checked in (they may have split the indices arbitrarily).
+    /// Re-raises worker panics on the caller.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // A propagated worker panic poisons this lock on the way out;
+        // the pool state itself stays consistent (the barrier completed),
+        // so clear the poison and keep the pool usable.
+        let _serial = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // SAFETY: we block below until every worker has checked in for
+        // this region and the region is cleared, so no worker can hold
+        // this reference past the borrow of `f`.
+        let job = RawJob(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        let workers = self.handles.len();
+        let mut st = self.shared.state.lock().unwrap();
+        st.region = Some(Region {
+            job,
+            n,
+            cursor: Arc::new(AtomicUsize::new(0)),
+        });
+        st.finished = 0;
+        st.panicked = false;
+        st.epoch += 1;
+        drop(st);
+        self.shared.work.notify_all();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.finished < workers {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.region = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("datalog worker panicked during parallel evaluation");
+        }
+    }
+
+    /// Run `n` jobs, each writing into its own output buffer; returns the
+    /// buffers in job order.
+    pub fn run_buffered<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, &mut Vec<T>) + Sync,
+    ) -> Vec<Vec<T>> {
+        let slots: Vec<Mutex<Vec<T>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        self.run(n, &|i| {
+            let mut buf = slots[i].lock().unwrap();
+            f(i, &mut buf);
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    trace::set_thread_name(&format!("datalog-worker-{index}"));
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, n, cursor) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(region) = &st.region {
+                        seen_epoch = st.epoch;
+                        break (region.job, region.n, Arc::clone(&region.cursor));
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let mut panicked = false;
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| (job.0)(i))).is_err() {
+                panicked = true;
+                // Keep draining indices so siblings and the coordinator
+                // are not left waiting on unclaimed work.
+            }
+        }
+        let mut st = shared.state.lock().unwrap();
+        if panicked {
+            st.panicked = true;
+        }
+        st.finished += 1;
+        drop(st);
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(10, &|i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 55);
+    }
+
+    #[test]
+    fn run_buffered_preserves_job_order() {
+        let pool = WorkerPool::new(4);
+        let buffers = pool.run_buffered(32, |i, out: &mut Vec<usize>| {
+            out.push(i * 2);
+        });
+        for (i, buf) in buffers.iter().enumerate() {
+            assert_eq!(buf.as_slice(), &[i * 2]);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let count = AtomicU64::new(0);
+        pool.run(4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn options_default_and_sequential() {
+        let d = EvalOptions::default();
+        assert!(d.threads >= 1);
+        let s = EvalOptions::sequential();
+        assert_eq!(s.threads, 1);
+        assert!(!s.parallel());
+        assert!(s.pool_for(usize::MAX, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn small_workloads_stay_sequential() {
+        let mut o = EvalOptions::with_threads(4);
+        o.min_parallel_tuples = 100;
+        assert!(o.pool_for(99, 8).is_none(), "below tuple threshold");
+        assert!(o.pool_for(1000, 1).is_none(), "single job");
+        assert!(o.pool_for(1000, 8).is_some());
+    }
+
+    #[test]
+    fn chunks_cover_the_list_in_order() {
+        let list: Vec<Tuple> = (0..500)
+            .map(|i| vec![crate::value::Value::Int(i)])
+            .collect();
+        let o = EvalOptions::with_threads(4);
+        let rejoined: Vec<Tuple> = o.chunks(&list).flatten().cloned().collect();
+        assert_eq!(rejoined, list);
+        assert!(o.chunks(&list).count() > 1);
+        let s = EvalOptions::sequential();
+        assert_eq!(s.chunks(&list).count(), 1);
+    }
+
+    #[test]
+    fn collect_jobs_merges_sorted_and_deduped() {
+        let o = EvalOptions::sequential();
+        let out: Vec<u32> = collect_jobs(
+            &o,
+            0,
+            3,
+            |i, out: &mut Vec<u32>| {
+                out.push(3 - i as u32);
+                out.push(7); // duplicated across jobs
+            },
+            "par.test",
+        );
+        assert_eq!(out, vec![1, 2, 3, 7]);
+    }
+}

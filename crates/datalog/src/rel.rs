@@ -1,7 +1,16 @@
 //! Relation storage and the database of predicates.
+//!
+//! Tuples live once, in a row arena; membership lookup and every index
+//! reference rows by dense id instead of cloning tuples. Secondary
+//! indices are built on demand for whatever column sets the compiled
+//! join plans need (see `eval::ensure_indices`) and are maintained
+//! incrementally on insert/remove. Duplicate inserts and misses touch
+//! only the membership chain — the tuple is hashed once and no index is
+//! disturbed unless the extent actually changes.
 
 use crate::value::{Interner, Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// Dense predicate handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -13,23 +22,107 @@ impl PredId {
     }
 }
 
-/// A set of tuples of fixed arity, with a persistent index on the first
-/// column (joins in rule bodies overwhelmingly bind the first position;
-/// the evaluator probes the index instead of scanning the extent).
+/// Row handle inside one relation's arena.
+type Row = u32;
+
+/// Pass-through hasher for keys that already are hashes (the membership
+/// chain map is keyed by the tuple's own 64-bit hash).
+#[derive(Clone, Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("identity hasher only takes u64 keys")
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Deterministic tuple hash (fixed-key SipHash): row placement must not
+/// depend on `RandomState`, so clones share chain layout with originals.
+fn tuple_hash(t: &[Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// One secondary index: rows grouped by their projection onto `cols`.
+#[derive(Clone, Debug, Default)]
+struct SecondaryIndex {
+    cols: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<Row>>,
+}
+
+impl SecondaryIndex {
+    fn key(&self, t: &[Value]) -> Vec<Value> {
+        self.cols.iter().map(|&c| t[c]).collect()
+    }
+
+    fn insert(&mut self, t: &[Value], row: Row) {
+        self.buckets.entry(self.key(t)).or_default().push(row);
+    }
+
+    fn remove(&mut self, t: &[Value], row: Row) {
+        let key = self.key(t);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|&r| r == row) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+}
+
+/// A set of tuples of fixed arity. The arena (`rows` + `free`) owns every
+/// tuple; `lookup` chains row ids by tuple hash for O(1) membership; each
+/// entry of `indices` groups row ids by a bound-column projection for
+/// O(bucket) join probes.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: HashSet<Tuple>,
-    /// First-column index; empty for arity-0 relations.
-    by_first: HashMap<Value, HashSet<Tuple>>,
+    rows: Vec<Option<Tuple>>,
+    free: Vec<Row>,
+    live: usize,
+    lookup: HashMap<u64, Vec<Row>, BuildHasherDefault<IdentityHasher>>,
+    indices: HashMap<Vec<usize>, SecondaryIndex>,
+}
+
+/// A resolved index probe: the rows matching one key (possibly none).
+pub struct Probe<'a> {
+    rel: &'a Relation,
+    bucket: &'a [Row],
+}
+
+impl<'a> Probe<'a> {
+    pub fn len(&self) -> usize {
+        self.bucket.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bucket.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let rel = self.rel;
+        self.bucket
+            .iter()
+            .map(move |&r| rel.rows[r as usize].as_ref().expect("indexed row is live"))
+    }
 }
 
 impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: HashSet::new(),
-            by_first: HashMap::new(),
+            ..Relation::default()
         }
     }
 
@@ -37,60 +130,146 @@ impl Relation {
         self.arity
     }
 
+    fn find_row(&self, t: &[Value]) -> Option<Row> {
+        let chain = self.lookup.get(&tuple_hash(t))?;
+        chain
+            .iter()
+            .copied()
+            .find(|&r| self.rows[r as usize].as_deref() == Some(t))
+    }
+
     /// Insert; true if new. Panics on arity mismatch (an engine bug, not
-    /// a data error — arities are validated at parse time).
+    /// a data error — arities are validated at parse time). Duplicates
+    /// hash once and leave every index untouched.
     pub fn insert(&mut self, t: Tuple) -> bool {
         assert_eq!(t.len(), self.arity, "arity mismatch on insert");
-        if let Some(&first) = t.first() {
-            if self.tuples.insert(t.clone()) {
-                self.by_first.entry(first).or_default().insert(t);
-                return true;
+        let h = tuple_hash(&t);
+        if let Some(chain) = self.lookup.get(&h) {
+            if chain
+                .iter()
+                .any(|&r| self.rows[r as usize].as_deref() == Some(t.as_slice()))
+            {
+                return false;
             }
+        }
+        let row = match self.free.pop() {
+            Some(r) => {
+                self.rows[r as usize] = Some(t);
+                r
+            }
+            None => {
+                self.rows.push(Some(t));
+                (self.rows.len() - 1) as Row
+            }
+        };
+        let stored = self.rows[row as usize].as_deref().expect("just stored");
+        for idx in self.indices.values_mut() {
+            idx.insert(stored, row);
+        }
+        self.lookup.entry(h).or_default().push(row);
+        self.live += 1;
+        true
+    }
+
+    /// Remove; true if present. Misses hash once and leave every index
+    /// untouched.
+    pub fn remove(&mut self, t: &[Value]) -> bool {
+        let h = tuple_hash(t);
+        let Some(chain) = self.lookup.get_mut(&h) else {
+            return false;
+        };
+        let Some(pos) = chain
+            .iter()
+            .position(|&r| self.rows[r as usize].as_deref() == Some(t))
+        else {
+            return false;
+        };
+        let row = chain.swap_remove(pos);
+        if chain.is_empty() {
+            self.lookup.remove(&h);
+        }
+        let tuple = self.rows[row as usize].take().expect("live row");
+        for idx in self.indices.values_mut() {
+            idx.remove(&tuple, row);
+        }
+        self.free.push(row);
+        self.live -= 1;
+        true
+    }
+
+    /// Build the secondary index over `cols` if absent; true if it was
+    /// built now (callers meter index builds).
+    pub fn ensure_index(&mut self, cols: &[usize]) -> bool {
+        assert!(
+            !cols.is_empty() && cols.iter().all(|&c| c < self.arity),
+            "bad index columns {cols:?} for arity {}",
+            self.arity
+        );
+        if self.indices.contains_key(cols) {
             return false;
         }
-        self.tuples.insert(t)
-    }
-
-    /// Remove; true if present.
-    pub fn remove(&mut self, t: &[Value]) -> bool {
-        let removed = self.tuples.remove(t);
-        if removed {
-            if let Some(&first) = t.first() {
-                if let Some(bucket) = self.by_first.get_mut(&first) {
-                    bucket.remove(t);
-                    if bucket.is_empty() {
-                        self.by_first.remove(&first);
-                    }
-                }
+        let mut idx = SecondaryIndex {
+            cols: cols.to_vec(),
+            buckets: HashMap::new(),
+        };
+        for (r, slot) in self.rows.iter().enumerate() {
+            if let Some(t) = slot {
+                idx.insert(t, r as Row);
             }
         }
-        removed
+        self.indices.insert(cols.to_vec(), idx);
+        true
     }
 
-    /// Tuples whose first column equals `v` (index probe).
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indices.contains_key(cols)
+    }
+
+    pub fn index_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Total row references held by the index over `cols` (None when the
+    /// index does not exist). Every live row appears exactly once.
+    pub fn index_entries(&self, cols: &[usize]) -> Option<usize> {
+        self.indices
+            .get(cols)
+            .map(|i| i.buckets.values().map(Vec::len).sum())
+    }
+
+    /// Probe the secondary index over `cols` with `key` (the values of
+    /// those columns, in `cols` order). `None` when no such index exists —
+    /// the caller falls back to a scan.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Option<Probe<'_>> {
+        let idx = self.indices.get(cols)?;
+        let bucket = idx.buckets.get(key).map_or(&[][..], Vec::as_slice);
+        Some(Probe { rel: self, bucket })
+    }
+
+    /// Tuples whose first column equals `v`.
     pub fn iter_first(&self, v: Value) -> impl Iterator<Item = &Tuple> + '_ {
-        self.by_first.get(&v).into_iter().flatten()
+        self.iter().filter(move |t| t.first() == Some(&v))
     }
 
     pub fn contains(&self, t: &[Value]) -> bool {
-        self.tuples.contains(t)
+        self.find_row(t).is_some()
     }
 
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live == 0
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+        self.rows.iter().filter_map(Option::as_ref)
     }
 
     /// Tuples in sorted order (deterministic output for tests/display).
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().cloned().collect();
         v.sort();
         v
     }
@@ -255,6 +434,75 @@ mod tests {
         assert_eq!(r.iter_first(a).count(), 1);
         assert!(r.remove(&[a, Value::Int(11)]));
         assert_eq!(r.iter_first(a).count(), 0);
+    }
+
+    #[test]
+    fn secondary_index_probes_any_column_set() {
+        let mut r = Relation::new(3);
+        for (a, b, c) in [(1, 10, 100), (1, 11, 100), (2, 10, 200), (2, 10, 100)] {
+            r.insert(vec![Value::Int(a), Value::Int(b), Value::Int(c)]);
+        }
+        assert!(r.probe(&[1, 2], &[Value::Int(10), Value::Int(100)]).is_none());
+        assert!(r.ensure_index(&[1, 2]));
+        assert!(!r.ensure_index(&[1, 2]), "second ensure is a no-op");
+        let p = r.probe(&[1, 2], &[Value::Int(10), Value::Int(100)]).unwrap();
+        assert_eq!(p.len(), 2, "(1,10,100) and (2,10,100)");
+        let mut seen: Vec<Tuple> = p.iter().cloned().collect();
+        seen.sort();
+        assert_eq!(seen[0][0], Value::Int(1));
+        assert_eq!(seen[1][0], Value::Int(2));
+        let empty = r.probe(&[1, 2], &[Value::Int(99), Value::Int(1)]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn secondary_index_maintained_on_mutation() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[1]);
+        r.insert(vec![Value::Int(1), Value::Int(7)]);
+        r.insert(vec![Value::Int(2), Value::Int(7)]);
+        assert_eq!(r.probe(&[1], &[Value::Int(7)]).unwrap().len(), 2);
+        assert!(r.remove(&[Value::Int(1), Value::Int(7)]));
+        assert_eq!(r.probe(&[1], &[Value::Int(7)]).unwrap().len(), 1);
+        // Arena slot reuse keeps indices consistent.
+        r.insert(vec![Value::Int(3), Value::Int(8)]);
+        assert_eq!(r.probe(&[1], &[Value::Int(8)]).unwrap().len(), 1);
+        assert_eq!(r.index_entries(&[1]), Some(2));
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_remove_leave_indices_untouched() {
+        // The single-hash guarantee: a duplicate insert (or a miss remove)
+        // must not disturb any index bucket — the extent is consulted
+        // first and indices are only touched on actual change.
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        r.ensure_index(&[1]);
+        let t = vec![Value::Int(4), Value::Int(5)];
+        assert!(r.insert(t.clone()));
+        let before_0 = r.index_entries(&[0]);
+        let before_1 = r.index_entries(&[1]);
+        assert!(!r.insert(t.clone()), "duplicate insert");
+        assert_eq!(r.index_entries(&[0]), before_0);
+        assert_eq!(r.index_entries(&[1]), before_1);
+        assert_eq!(r.len(), 1);
+        assert!(!r.remove(&[Value::Int(9), Value::Int(9)]), "missing remove");
+        assert_eq!(r.index_entries(&[0]), before_0);
+        assert_eq!(r.index_entries(&[1]), before_1);
+        assert!(r.contains(&t));
+    }
+
+    #[test]
+    fn clone_carries_indices() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[1]);
+        r.insert(vec![Value::Int(1), Value::Int(2)]);
+        let mut c = r.clone();
+        assert!(c.has_index(&[1]));
+        assert_eq!(c.probe(&[1], &[Value::Int(2)]).unwrap().len(), 1);
+        c.insert(vec![Value::Int(3), Value::Int(2)]);
+        assert_eq!(c.probe(&[1], &[Value::Int(2)]).unwrap().len(), 2);
+        assert_eq!(r.probe(&[1], &[Value::Int(2)]).unwrap().len(), 1);
     }
 
     #[test]

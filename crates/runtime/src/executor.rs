@@ -78,11 +78,14 @@ impl Executor {
                         let idle = trace::span("exec", "worker.idle");
                         let Ok(node) = work_rx.recv() else { break };
                         drop(idle);
-                        let span = trace::span_with(
-                            "exec",
-                            format!("task {}", node.0),
-                            vec![("node", (node.0 as u64).into())],
-                        );
+                        // Only pay the label allocation when tracing is on.
+                        let span = trace::enabled().then(|| {
+                            trace::span_with(
+                                "exec",
+                                format!("task {}", node.0),
+                                vec![("node", (node.0 as u64).into())],
+                            )
+                        });
                         let outcome = task(node);
                         drop(span);
                         if done_tx.send((node, outcome)).is_err() {
