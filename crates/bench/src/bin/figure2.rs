@@ -50,6 +50,7 @@ fn main() {
         let cfg = StepSimConfig {
             processors: p,
             audit: l <= 40,
+            batch_pops: false,
         };
         let run = |kind: SchedulerKind| {
             let mut s = kind.build(inst.dag.clone());
@@ -109,6 +110,7 @@ fn main() {
         let cfg = StepSimConfig {
             processors: p,
             audit: false,
+            batch_pops: false,
         };
         let mut s = SchedulerKind::LevelBased.build(inst.dag.clone());
         let m = simulate_step(s.as_mut(), &inst, &cfg).makespan;

@@ -76,6 +76,22 @@ impl<A: Scheduler, B: Scheduler> Scheduler for Duo<A, B> {
         None
     }
 
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        let before = out.len();
+        self.primary.pop_batch(out, max);
+        for &t in &out[before..] {
+            self.secondary.on_external_dispatch(t);
+        }
+        if out.len() - before < max {
+            let primary_end = out.len();
+            self.secondary.pop_batch(out, max - (primary_end - before));
+            for &t in &out[primary_end..] {
+                self.primary.on_external_dispatch(t);
+            }
+        }
+        out.len() - before
+    }
+
     fn is_quiescent(&self) -> bool {
         self.primary.is_quiescent()
     }

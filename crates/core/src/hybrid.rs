@@ -115,6 +115,31 @@ impl Scheduler for Hybrid {
         None
     }
 
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        self.pops += 1;
+        let before = out.len();
+        // LevelBased drains its whole frontier in one inner batch; each
+        // dispatched task is mirrored into the LogicBlox side.
+        self.lb.pop_batch(out, max);
+        for &t in &out[before..] {
+            self.lbx.on_external_dispatch(t);
+        }
+        if self.config.background_scan && out.len() > before {
+            // One slice per batch, not per node: the batch models a single
+            // concurrent pop round of the parallel deployment.
+            self.lbx.background_scan_slice(self.config.scan_slice);
+        }
+        // Remaining capacity: cross-level work hidden behind the barrier.
+        if out.len() - before < max {
+            let lb_end = out.len();
+            self.lbx.pop_batch(out, max - (lb_end - before));
+            for &t in &out[lb_end..] {
+                self.lb.on_external_dispatch(t);
+            }
+        }
+        out.len() - before
+    }
+
     fn is_quiescent(&self) -> bool {
         // Both track the same truth; ask either.
         self.lb.is_quiescent()

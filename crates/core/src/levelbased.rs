@@ -38,6 +38,12 @@ pub struct LevelBased {
     /// High-water mark of simultaneously tracked active tasks (the `O(n)`
     /// space bound of Theorem 2 counts these).
     pub(crate) peak_tracked: usize,
+    /// Levels whose bucket/unfinished slot was written this run — the only
+    /// ones the next [`Scheduler::start`] needs to clear, making restarts
+    /// O(levels touched by the previous update) instead of O(L).
+    pub(crate) touched: Vec<u32>,
+    /// `level_stamp[l] == state.generation()` ⇔ `l` is already in `touched`.
+    pub(crate) level_stamp: Vec<u32>,
 }
 
 impl LevelBased {
@@ -53,6 +59,8 @@ impl LevelBased {
             cost: CostMeter::default(),
             running: Vec::new(),
             peak_tracked: 0,
+            touched: Vec::new(),
+            level_stamp: vec![0; l],
         }
     }
 
@@ -61,6 +69,11 @@ impl LevelBased {
             self.cost.activations += 1;
             self.cost.bucket_ops += 1;
             let l = self.dag.level(v) as usize;
+            let gen = self.state.generation();
+            if self.level_stamp[l] != gen {
+                self.level_stamp[l] = gen;
+                self.touched.push(l as u32);
+            }
             self.buckets[l].push(v);
             self.unfinished[l] += 1;
             self.peak_tracked = self.peak_tracked.max(self.state.active_unexecuted());
@@ -127,11 +140,19 @@ impl Scheduler for LevelBased {
     }
 
     fn start(&mut self, initial_active: &[NodeId]) {
-        self.state.reset();
-        for b in &mut self.buckets {
-            b.clear();
+        // O(active of the previous run): only levels the previous update
+        // wrote (every bucket push and `unfinished` bump goes through
+        // `activate`, which records the level) need clearing.
+        for &l in &self.touched {
+            self.buckets[l as usize].clear();
+            self.unfinished[l as usize] = 0;
         }
-        self.unfinished.fill(0);
+        self.touched.clear();
+        self.state.reset();
+        if self.state.generation() == 1 {
+            // Stamp generation wrapped: old stamps could alias the new one.
+            self.level_stamp.fill(0);
+        }
         self.cur = 0;
         self.cost = CostMeter::default();
         self.running.clear();
@@ -160,6 +181,21 @@ impl Scheduler for LevelBased {
     fn pop_ready(&mut self) -> Option<NodeId> {
         self.cost.pops += 1;
         self.pop_at_cursor()
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        // Drain the current level bucket (by Lemma 1 everything in it is
+        // safe) in one trait crossing; one `pops` charge per batch, the
+        // per-node bucket_ops charges are identical to the serial path.
+        self.cost.pops += 1;
+        let before = out.len();
+        while out.len() - before < max {
+            match self.pop_at_cursor() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out.len() - before
     }
 
     fn is_quiescent(&self) -> bool {
@@ -326,5 +362,39 @@ mod tests {
         s.start(&[NodeId(4)]);
         assert_eq!(s.pop_ready(), Some(NodeId(4)));
         assert_eq!(s.cost().pops, 1);
+    }
+
+    #[test]
+    fn restart_clears_stale_external_dispatch_leftovers() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        // Externally dispatch node 0: its bucket entry goes stale and the
+        // run is abandoned mid-flight (never completed).
+        s.on_external_dispatch(NodeId(0));
+        // The restart must clear that leftover entry even though the level
+        // was never drained, and the node must be schedulable again.
+        s.start(&[NodeId(0)]);
+        assert_eq!(s.pop_ready(), Some(NodeId(0)));
+        s.on_completed(NodeId(0), &[]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn pop_batch_drains_level_and_respects_barrier() {
+        let mut s = LevelBased::new(dag());
+        s.start(&[NodeId(0)]);
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch(&mut out, 16), 1);
+        s.on_completed(NodeId(0), &[NodeId(1), NodeId(2)]);
+        out.clear();
+        // Both level-1 tasks come out in one batch; level 2 stays behind
+        // the barrier until they complete.
+        assert_eq!(s.pop_batch(&mut out, 16), 2);
+        assert_eq!(s.pop_batch(&mut out, 16), 0);
+        s.on_completed(out[0], &[NodeId(3)]);
+        s.on_completed(out[1], &[NodeId(3)]);
+        out.clear();
+        assert_eq!(s.pop_batch(&mut out, 16), 1);
+        assert_eq!(out, vec![NodeId(3)]);
     }
 }

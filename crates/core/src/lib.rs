@@ -67,7 +67,9 @@ pub use instance::{Instance, TaskShape};
 pub use levelbased::LevelBased;
 pub use logicblox::{LogicBlox, ScanMode};
 pub use lookahead::LevelBasedLookahead;
-pub use scheduler::{ExactGreedy, NodeState, SafetyChecker, Scheduler, StateTable};
+pub use scheduler::{
+    CompletionBatch, ExactGreedy, NodeState, SafetyChecker, Scheduler, StateTable,
+};
 pub use signal::SignalPropagation;
 
 use incr_dag::Dag;

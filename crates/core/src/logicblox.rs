@@ -50,14 +50,20 @@ pub struct LogicBlox {
     /// entries go stale when tasks are dispatched externally.
     active_queue: VecDeque<NodeId>,
     ready: VecDeque<NodeId>,
-    /// In `ready` already (avoid rescanning / double-queueing).
-    queued: Vec<bool>,
+    /// In `ready` already (avoid rescanning / double-queueing); stamped
+    /// against `state.generation()` so restarts need no O(V) clear.
+    queued_stamp: Vec<u32>,
     /// Active-or-running (uncompleted) tasks, bucketed by level for the
     /// pruned check; total count mirrors the naive blocker list length.
     blockers_by_level: Vec<Vec<NodeId>>,
     /// Position of each node inside its level bucket (for O(1) removal).
     blocker_pos: Vec<u32>,
     blocker_count: usize,
+    /// Levels whose blocker bucket was written this run (the only ones the
+    /// next `start` clears — O(active) restarts instead of O(L)).
+    touched_levels: Vec<u32>,
+    /// `blocker_level_stamp[l] == state.generation()` ⇔ `l` in `touched_levels`.
+    blocker_level_stamp: Vec<u32>,
     /// Something changed since the last scan; a new scan may find work.
     dirty: bool,
     cost: CostMeter,
@@ -85,10 +91,12 @@ impl LogicBlox {
             mode,
             active_queue: VecDeque::new(),
             ready: VecDeque::new(),
-            queued: vec![false; n],
+            queued_stamp: vec![0; n],
             blockers_by_level: vec![Vec::new(); l],
             blocker_pos: vec![0; n],
             blocker_count: 0,
+            touched_levels: Vec::new(),
+            blocker_level_stamp: vec![0; l],
             dirty: false,
             cost: CostMeter::default(),
             peak_tracked: 0,
@@ -100,8 +108,23 @@ impl LogicBlox {
         self.mode
     }
 
+    #[inline]
+    fn is_queued(&self, v: NodeId) -> bool {
+        self.queued_stamp[v.index()] == self.state.generation()
+    }
+
+    #[inline]
+    fn mark_queued(&mut self, v: NodeId) {
+        self.queued_stamp[v.index()] = self.state.generation();
+    }
+
     fn add_blocker(&mut self, v: NodeId) {
         let l = self.dag.level(v) as usize;
+        let gen = self.state.generation();
+        if self.blocker_level_stamp[l] != gen {
+            self.blocker_level_stamp[l] = gen;
+            self.touched_levels.push(l as u32);
+        }
         self.blocker_pos[v.index()] = self.blockers_by_level[l].len() as u32;
         self.blockers_by_level[l].push(v);
         self.blocker_count += 1;
@@ -192,7 +215,7 @@ impl LogicBlox {
                 break;
             };
             // Drop stale entries (already dispatched/queued elsewhere).
-            if self.state.get(t) != NodeState::Active || self.queued[t.index()] {
+            if self.state.get(t) != NodeState::Active || self.is_queued(t) {
                 continue;
             }
             self.cost.scan_steps += 1;
@@ -200,7 +223,7 @@ impl LogicBlox {
             self.cost.ancestor_queries += queries;
             self.cost.interval_probes += probes;
             if safe {
-                self.queued[t.index()] = true;
+                self.mark_queued(t);
                 self.ready.push_back(t);
             } else {
                 self.active_queue.push_back(t);
@@ -238,7 +261,7 @@ impl LogicBlox {
             let Some(t) = self.active_queue.pop_front() else {
                 break;
             };
-            if self.state.get(t) != NodeState::Active || self.queued[t.index()] {
+            if self.state.get(t) != NodeState::Active || self.is_queued(t) {
                 continue;
             }
             examined += 1;
@@ -247,7 +270,7 @@ impl LogicBlox {
             self.cost.ancestor_queries += queries;
             self.cost.interval_probes += probes;
             if safe {
-                self.queued[t.index()] = true;
+                self.mark_queued(t);
                 self.ready.push_back(t);
             } else {
                 self.active_queue.push_back(t);
@@ -273,12 +296,20 @@ impl Scheduler for LogicBlox {
     }
 
     fn start(&mut self, initial_active: &[NodeId]) {
-        self.state.reset();
+        // O(active of the previous run): queue leftovers and touched
+        // blocker levels only; `queued_stamp` resets for free via the
+        // generation bump in `state.reset()`.
         self.active_queue.clear();
         self.ready.clear();
-        self.queued.fill(false);
-        for b in &mut self.blockers_by_level {
-            b.clear();
+        for &l in &self.touched_levels {
+            self.blockers_by_level[l as usize].clear();
+        }
+        self.touched_levels.clear();
+        self.state.reset();
+        if self.state.generation() == 1 {
+            // Stamp generation wrapped: old stamps could alias the new one.
+            self.queued_stamp.fill(0);
+            self.blocker_level_stamp.fill(0);
         }
         self.blocker_count = 0;
         self.dirty = false;
@@ -311,6 +342,30 @@ impl Scheduler for LogicBlox {
         self.pop_ready_no_scan()
     }
 
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        // Drain the ready queue, scan at most once if it runs dry, then
+        // drain again — one `pops` charge and one trait crossing per
+        // wavefront; the scan charges stay per-candidate as always.
+        self.cost.pops += 1;
+        let before = out.len();
+        while out.len() - before < max {
+            match self.pop_ready_no_scan() {
+                Some(t) => out.push(t),
+                None => {
+                    if !self.dirty {
+                        break;
+                    }
+                    self.scan();
+                    match self.pop_ready_no_scan() {
+                        Some(t) => out.push(t),
+                        None => break,
+                    }
+                }
+            }
+        }
+        out.len() - before
+    }
+
     fn is_quiescent(&self) -> bool {
         self.state.active_unexecuted() == 0
     }
@@ -322,7 +377,7 @@ impl Scheduler for LogicBlox {
     fn space_bytes(&self) -> usize {
         (self.active_queue.len() + self.ready.len() + self.blocker_count)
             * std::mem::size_of::<NodeId>()
-            + self.queued.len() // Vec<bool>: one byte per node
+            + self.queued_stamp.len() * std::mem::size_of::<u32>()
             + self.blocker_pos.len() * std::mem::size_of::<u32>()
             + self.state.bytes()
     }

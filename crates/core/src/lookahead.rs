@@ -180,6 +180,34 @@ impl Scheduler for LevelBasedLookahead {
         found
     }
 
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        // Same cascade as pop_ready (cursor → stash → look-ahead), but one
+        // `pops` charge and one trait crossing for the whole wavefront.
+        self.base.cost.pops += 1;
+        let before = out.len();
+        while out.len() - before < max {
+            if let Some(t) = self.base.pop_at_cursor() {
+                out.push(t);
+                continue;
+            }
+            if let Some(t) = self.pop_stash() {
+                out.push(t);
+                continue;
+            }
+            if self.base.state.active_unexecuted() == 0 || self.lookahead_exhausted {
+                break;
+            }
+            match self.lookahead() {
+                Some(t) => out.push(t),
+                None => {
+                    self.lookahead_exhausted = true;
+                    break;
+                }
+            }
+        }
+        out.len() - before
+    }
+
     fn is_quiescent(&self) -> bool {
         self.base.is_quiescent()
     }

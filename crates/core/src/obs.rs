@@ -12,7 +12,7 @@
 //! `obs_overhead` bench in `incr-bench` checks exactly this.
 
 use crate::cost::CostMeter;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{CompletionBatch, Scheduler};
 use incr_obs::{trace, Counter};
 use incr_dag::NodeId;
 use std::sync::Arc;
@@ -28,6 +28,8 @@ pub struct Observed {
     pops: Arc<Counter>,
     completions: Arc<Counter>,
     activations: Arc<Counter>,
+    batch_pops: Arc<Counter>,
+    batch_popped_tasks: Arc<Counter>,
     gauge_tick: u32,
 }
 
@@ -38,6 +40,8 @@ impl Observed {
             pops: r.counter("sched.pops"),
             completions: r.counter("sched.completions"),
             activations: r.counter("sched.activations"),
+            batch_pops: r.counter("sched.batch_pops"),
+            batch_popped_tasks: r.counter("sched.batch_popped_tasks"),
             gauge_tick: 0,
             inner,
         }
@@ -107,6 +111,42 @@ impl Scheduler for Observed {
         }
         self.sample_gauges();
         popped
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        self.batch_pops.inc();
+        let span = trace::span("sched", "sched.pop_batch");
+        let got = self.inner.pop_batch(out, max);
+        span.end_args(vec![("popped", got.into()), ("max", max.into())]);
+        self.batch_popped_tasks.add(got as u64);
+        if trace::enabled() {
+            incr_obs::registry()
+                .histogram("sched.pop_batch_size")
+                .record(got as u64);
+        }
+        self.sample_gauges();
+        got
+    }
+
+    fn complete_batch(&mut self, batch: &CompletionBatch) {
+        self.completions.add(batch.len() as u64);
+        self.activations.add(batch.total_fired() as u64);
+        let span = trace::span_with(
+            "sched",
+            "sched.complete_batch",
+            vec![
+                ("completions", batch.len().into()),
+                ("fired", batch.total_fired().into()),
+            ],
+        );
+        self.inner.complete_batch(batch);
+        drop(span);
+        if trace::enabled() {
+            incr_obs::registry()
+                .histogram("sched.complete_batch_size")
+                .record(batch.len() as u64);
+        }
+        self.sample_gauges();
     }
 
     fn is_quiescent(&self) -> bool {

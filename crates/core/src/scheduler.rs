@@ -45,6 +45,11 @@ pub trait Scheduler: Send {
     fn name(&self) -> &str;
 
     /// Reset all run state and deliver the initially-activated tasks.
+    ///
+    /// Implementations are expected to make this O(|active set of the
+    /// previous run|), not O(V), so a stream of small updates on a huge
+    /// DAG pays per-update cost proportional to the work, realizing
+    /// Theorem 2's bound *across* updates (see [`StateTable::reset`]).
     fn start(&mut self, initial_active: &[NodeId]);
 
     /// Report that `v` finished executing and that the children in `fired`
@@ -54,6 +59,35 @@ pub trait Scheduler: Send {
     /// Ask for one safe task. `None` means "none known right now" — more
     /// may surface after future completions.
     fn pop_ready(&mut self) -> Option<NodeId>;
+
+    /// Ask for up to `max` safe tasks at once, appended to `out`; returns
+    /// how many were added. Semantically identical to calling
+    /// [`Scheduler::pop_ready`] in a loop (which is the default impl) —
+    /// specialized implementations drain an internal ready structure so
+    /// the caller crosses the trait boundary once per wavefront instead
+    /// of once per node, and charge one `pops` unit per *batch* rather
+    /// than per node (per-node bucket/scan charges are unchanged, so
+    /// Theorem 2 cost accounting still holds).
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        let before = out.len();
+        while out.len() - before < max {
+            match self.pop_ready() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out.len() - before
+    }
+
+    /// Report a whole batch of completions at once. Semantically identical
+    /// to calling [`Scheduler::on_completed`] per entry in order (the
+    /// default impl does exactly that); exists so batching executors make
+    /// one virtual call per flushed completion buffer.
+    fn complete_batch(&mut self, batch: &CompletionBatch) {
+        for (v, fired) in batch.iter() {
+            self.on_completed(v, fired);
+        }
+    }
 
     /// True when every activated task has completed.
     fn is_quiescent(&self) -> bool;
@@ -82,10 +116,95 @@ pub trait Scheduler: Send {
     }
 }
 
+/// A flat, reusable buffer of `(node, fired-children)` completions.
+///
+/// Fired lists are concatenated into one arena (`fired`) with an offsets
+/// array (`ends`), so recording a completion never allocates once the
+/// buffers have warmed up — the executor's workers fill one of these per
+/// dispatch chunk and ship the whole thing to the coordinator.
+#[derive(Clone, Debug, Default)]
+pub struct CompletionBatch {
+    nodes: Vec<NodeId>,
+    /// All fired lists back to back; entry `i` owns
+    /// `fired[ends[i-1]..ends[i]]`.
+    fired: Vec<NodeId>,
+    ends: Vec<u32>,
+}
+
+impl CompletionBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty the batch, keeping capacity (for reuse across flushes).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.fired.clear();
+        self.ends.clear();
+    }
+
+    /// Number of completions recorded.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total fired children across all entries (= activations delivered).
+    #[inline]
+    pub fn total_fired(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Record one completion with its fired children.
+    pub fn push(&mut self, node: NodeId, fired: &[NodeId]) {
+        self.fired.extend_from_slice(fired);
+        self.commit(node);
+    }
+
+    /// The tail of the fired arena: a task body appends its fired children
+    /// here directly (no intermediate Vec), then the caller seals the entry
+    /// with [`CompletionBatch::commit`].
+    #[inline]
+    pub fn fired_buf(&mut self) -> &mut Vec<NodeId> {
+        &mut self.fired
+    }
+
+    /// Seal an entry for `node` whose fired children were appended to
+    /// [`CompletionBatch::fired_buf`] since the previous commit/push.
+    pub fn commit(&mut self, node: NodeId) {
+        self.nodes.push(node);
+        self.ends.push(self.fired.len() as u32);
+    }
+
+    /// Entry `i`: the node and its fired-children slice.
+    pub fn get(&self, i: usize) -> (NodeId, &[NodeId]) {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        let hi = self.ends[i] as usize;
+        (self.nodes[i], &self.fired[lo..hi])
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> {
+        (0..self.nodes.len()).map(move |i| self.get(i))
+    }
+}
+
 /// Shared per-node state table with the bookkeeping every scheduler needs.
+///
+/// Reset is O(1) via generation stamps: a slot's state is only believed
+/// when its stamp matches the current generation, so `reset` just bumps
+/// the generation and every node reads `Clean` again. This is what makes
+/// `start()` on update *i+1* cost O(|active_i|) instead of O(V).
 #[derive(Clone, Debug)]
 pub struct StateTable {
     states: Vec<NodeState>,
+    /// `stamp[i] == generation` ⇔ `states[i]` belongs to the current run.
+    stamp: Vec<u32>,
+    generation: u32,
     active_unexecuted: usize,
     activated_total: usize,
 }
@@ -94,29 +213,51 @@ impl StateTable {
     pub fn new(n: usize) -> Self {
         StateTable {
             states: vec![NodeState::Clean; n],
+            stamp: vec![0; n],
+            generation: 1,
             active_unexecuted: 0,
             activated_total: 0,
         }
     }
 
+    /// O(1) (amortized): bump the generation so every slot reads `Clean`.
+    /// On u32 wrap-around the stamp array is rewritten once — one O(V)
+    /// pass every 2³²−1 resets.
     pub fn reset(&mut self) {
-        self.states.fill(NodeState::Clean);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
         self.active_unexecuted = 0;
         self.activated_total = 0;
     }
 
+    /// Current generation. Schedulers keeping their own stamped side
+    /// tables compare against this; `generation() == 1` right after a
+    /// reset signals wrap-around (their stamps must be rewritten too).
+    #[inline]
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
     #[inline]
     pub fn get(&self, v: NodeId) -> NodeState {
-        self.states[v.index()]
+        if self.stamp[v.index()] == self.generation {
+            self.states[v.index()]
+        } else {
+            NodeState::Clean
+        }
     }
 
     /// Mark `v` active; returns true if this is a new activation.
     /// Panics (debug) if `v` already ran — activation-after-execution is a
     /// model violation (the task would need re-execution).
     pub fn activate(&mut self, v: NodeId) -> bool {
-        match self.states[v.index()] {
+        match self.get(v) {
             NodeState::Clean => {
                 self.states[v.index()] = NodeState::Active;
+                self.stamp[v.index()] = self.generation;
                 self.active_unexecuted += 1;
                 self.activated_total += 1;
                 true
@@ -131,14 +272,16 @@ impl StateTable {
 
     /// Transition Active -> Running when the environment pops `v`.
     pub fn dispatch(&mut self, v: NodeId) {
-        debug_assert_eq!(self.states[v.index()], NodeState::Active, "double pop of {v}");
+        debug_assert_eq!(self.get(v), NodeState::Active, "double pop of {v}");
         self.states[v.index()] = NodeState::Running;
+        self.stamp[v.index()] = self.generation;
     }
 
     /// Transition Running -> Done.
     pub fn complete(&mut self, v: NodeId) {
-        debug_assert_eq!(self.states[v.index()], NodeState::Running, "completion of non-running {v}");
+        debug_assert_eq!(self.get(v), NodeState::Running, "completion of non-running {v}");
         self.states[v.index()] = NodeState::Done;
+        self.stamp[v.index()] = self.generation;
         self.active_unexecuted -= 1;
     }
 
@@ -155,9 +298,10 @@ impl StateTable {
         self.activated_total
     }
 
-    /// Bytes held by the table itself.
+    /// Bytes held by the table itself (state byte + stamp word per node).
     pub fn bytes(&self) -> usize {
         self.states.len()
+            * (std::mem::size_of::<NodeState>() + std::mem::size_of::<u32>())
     }
 }
 
@@ -270,6 +414,19 @@ impl Scheduler for ExactGreedy {
             }
         }
         None
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        self.cost.pops += 1;
+        let before = out.len();
+        while out.len() - before < max {
+            let Some(t) = self.ready.pop() else { break };
+            if self.state.get(t) == NodeState::Active {
+                self.state.dispatch(t);
+                out.push(t);
+            }
+        }
+        out.len() - before
     }
 
     fn is_quiescent(&self) -> bool {
@@ -461,5 +618,91 @@ mod tests {
         let mut check = SafetyChecker::new(dag);
         check.on_start(&[NodeId(1), NodeId(3)]);
         check.on_pop(NodeId(3)); // 1 is an active uncompleted ancestor
+    }
+
+    #[test]
+    fn state_table_reset_is_generational() {
+        let mut st = StateTable::new(3);
+        st.activate(NodeId(0));
+        st.dispatch(NodeId(0));
+        st.complete(NodeId(0));
+        st.activate(NodeId(1));
+        st.reset();
+        // Every slot reads Clean without any per-slot write.
+        for i in 0..3 {
+            assert_eq!(st.get(NodeId(i)), NodeState::Clean);
+        }
+        assert_eq!(st.active_unexecuted(), 0);
+        assert_eq!(st.activated_total(), 0);
+        // Full lifecycle works again in the new generation.
+        assert!(st.activate(NodeId(0)));
+        st.dispatch(NodeId(0));
+        st.complete(NodeId(0));
+        assert_eq!(st.get(NodeId(0)), NodeState::Done);
+    }
+
+    #[test]
+    fn state_table_generation_wrap_rewrites_stamps() {
+        let mut st = StateTable::new(2);
+        st.activate(NodeId(0));
+        // Force the wrap path directly.
+        st.generation = u32::MAX;
+        st.reset();
+        assert_eq!(st.generation(), 1);
+        assert_eq!(st.get(NodeId(0)), NodeState::Clean);
+        assert!(st.activate(NodeId(0)));
+        assert_eq!(st.get(NodeId(0)), NodeState::Active);
+    }
+
+    #[test]
+    fn state_table_bytes_counts_states_and_stamps() {
+        let st = StateTable::new(100);
+        // 1 state byte + 4 stamp bytes per node: bytes() must account for
+        // everything the table actually holds per node.
+        assert_eq!(st.bytes(), 100 * 5);
+    }
+
+    #[test]
+    fn completion_batch_roundtrip() {
+        let mut b = CompletionBatch::new();
+        b.push(NodeId(0), &[NodeId(1), NodeId(2)]);
+        b.fired_buf().push(NodeId(3));
+        b.commit(NodeId(1));
+        b.push(NodeId(2), &[]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.total_fired(), 3);
+        let entries: Vec<(NodeId, Vec<NodeId>)> =
+            b.iter().map(|(v, f)| (v, f.to_vec())).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (NodeId(0), vec![NodeId(1), NodeId(2)]),
+                (NodeId(1), vec![NodeId(3)]),
+                (NodeId(2), vec![]),
+            ]
+        );
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.total_fired(), 0);
+    }
+
+    #[test]
+    fn exact_greedy_pop_batch_matches_serial_pops() {
+        let dag = diamond();
+        let mut s = ExactGreedy::new(dag.clone());
+        s.start(&[NodeId(1), NodeId(2)]);
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch, 8), 2);
+        let mut sorted = batch.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(s.pop_batch(&mut batch, 8), 0);
+        let mut done = CompletionBatch::new();
+        done.push(NodeId(1), &[NodeId(3)]);
+        done.push(NodeId(2), &[NodeId(3)]);
+        s.complete_batch(&done);
+        assert_eq!(s.pop_ready(), Some(NodeId(3)));
+        s.on_completed(NodeId(3), &[]);
+        assert!(s.is_quiescent());
     }
 }

@@ -91,16 +91,21 @@ impl Scheduler for SignalPropagation {
         "SignalPropagation"
     }
 
+    // Unlike the level-based family, `start` here is inherently Θ(V + E):
+    // the algorithm itself makes every node await a signal from every
+    // parent, so the per-node reinitialization below *is* the algorithm's
+    // cost, not bookkeeping overhead — exactly the V-dependence the paper
+    // holds against this baseline.
     fn start(&mut self, initial_active: &[NodeId]) {
         let n = self.dag.node_count();
         self.state.reset();
-        self.changed.fill(false);
         self.relay.clear();
         self.ready.clear();
         self.cost = CostMeter::default();
         self.peak_tracked = 0;
         for i in 0..n {
             self.pending[i] = self.dag.in_degree(NodeId(i as u32)) as u32;
+            self.changed[i] = false;
         }
         for &v in initial_active {
             if self.state.activate(v) {
@@ -139,6 +144,19 @@ impl Scheduler for SignalPropagation {
             }
         }
         None
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<NodeId>, max: usize) -> usize {
+        self.cost.pops += 1;
+        let before = out.len();
+        while out.len() - before < max {
+            let Some(t) = self.ready.pop() else { break };
+            if self.state.get(t) == NodeState::Active {
+                self.state.dispatch(t);
+                out.push(t);
+            }
+        }
+        out.len() - before
     }
 
     fn is_quiescent(&self) -> bool {

@@ -1,28 +1,101 @@
-//! The threaded dispatch loop.
+//! The threaded dispatch loop, built for sustained update-stream
+//! throughput.
 //!
 //! One coordinating thread owns the scheduler; `workers` threads execute
-//! task closures. Workers report `(node, fired-children)` completions
-//! over a channel and the coordinator feeds them back into the scheduler,
-//! revealing the active graph exactly as in the simulators — but here the
-//! "fired" sets come from *real computation* (e.g. the Datalog engine
-//! reporting whether a predicate's output actually changed).
+//! task closures. The hot path is batched end to end:
+//!
+//! * the coordinator pulls whole wavefronts with
+//!   [`Scheduler::pop_batch`] (one trait crossing per wavefront, not per
+//!   node) and ships them to workers as multi-task *chunks* over a
+//!   **bounded** channel — backpressure, so a fast coordinator can never
+//!   run unboundedly ahead of slow workers;
+//! * workers append each task's fired children straight into a reusable
+//!   [`CompletionBatch`] (no per-task allocation) and flush the whole
+//!   buffer back in one message;
+//! * the coordinator feeds completions back with
+//!   [`Scheduler::complete_batch`], and chunk vectors / completion
+//!   batches recycle between the two sides so steady state allocates
+//!   nothing.
+//!
+//! Workers park in `recv` when the queue is empty (condvar, no spinning)
+//! and exit on an explicit [`WorkMsg::Shutdown`] — distinct from a stalled
+//! scheduler, which surfaces as [`ExecError::Stall`]. Completion order is
+//! still recorded for the safety checker; the "fired" sets come from
+//! *real computation* (e.g. the Datalog engine reporting whether a
+//! predicate's output actually changed).
+//!
+//! [`Executor::run_stream`] drives a whole stream of updates through one
+//! warm worker pool — combined with the O(active) `start()` of the
+//! schedulers, a stream of 10-node updates costs per-update work
+//! proportional to 10, not to the DAG size.
 
 use crossbeam::channel;
 use incr_dag::{Dag, NodeId};
 use incr_obs::trace;
-use incr_sched::Scheduler;
+use incr_sched::{CompletionBatch, Scheduler};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// What a task execution tells the runtime: which children saw changed
-/// input. Must be a subset of the node's children in `G`.
-#[derive(Clone, Debug, Default)]
-pub struct TaskOutcome {
-    pub fired: Vec<NodeId>,
+/// A task body: executed on a worker thread for each dispatched node.
+/// Children whose input changed are appended to `fired` (which the caller
+/// provides and recycles — implementations must only push, never read or
+/// clear it).
+pub type TaskFn = Arc<dyn Fn(NodeId, &mut Vec<NodeId>) + Send + Sync>;
+
+/// Why a run could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The scheduler offered no task while active work remained.
+    Stall { scheduler: String },
+    /// A task fired a child it has no edge to in `G`.
+    NonEdge { from: NodeId, to: NodeId },
 }
 
-/// A task body: executed on a worker thread for each dispatched node.
-pub type TaskFn = Arc<dyn Fn(NodeId) -> TaskOutcome + Send + Sync>;
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Stall { scheduler } => {
+                write!(f, "{scheduler} stalled with active work remaining")
+            }
+            ExecError::NonEdge { from, to } => {
+                write!(f, "task {from} fired non-edge to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Tuning for the dispatch pipeline.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Worker thread count (the paper's experiments use 8).
+    pub workers: usize,
+    /// Max tasks pulled from the scheduler per `pop_batch` call.
+    pub batch_max: usize,
+    /// Max tasks per chunk handed to a single worker.
+    pub chunk_max: usize,
+    /// Bounded work-queue capacity in chunks (the backpressure knob).
+    pub queue_cap: usize,
+    /// Legacy one-task-per-message dispatch over unbounded channels with a
+    /// fresh allocation per completion — the pre-batching executor,
+    /// preserved as the A/B baseline for the `exec_throughput` bench.
+    pub per_task: bool,
+}
+
+impl ExecConfig {
+    pub fn new(workers: usize) -> ExecConfig {
+        assert!(workers >= 1);
+        ExecConfig {
+            workers,
+            batch_max: 256,
+            chunk_max: 32,
+            queue_cap: 64,
+            per_task: false,
+        }
+    }
+}
 
 /// Result of one [`Executor::run`].
 #[derive(Clone, Debug)]
@@ -33,40 +106,238 @@ pub struct ExecReport {
     pub wall_seconds: f64,
     /// Nodes in completion order (nondeterministic across runs).
     pub completion_order: Vec<NodeId>,
+    /// Fraction of coordinator wall time spent doing work (scheduling,
+    /// dispatching, feeding back completions) rather than blocked waiting
+    /// for workers. Near 1.0 means the coordinator is the bottleneck.
+    pub coord_busy_fraction: f64,
+}
+
+/// Result of one [`Executor::run_stream`].
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Updates driven to quiescence.
+    pub updates: usize,
+    /// Total tasks executed across all updates.
+    pub executed: usize,
+    /// Wall-clock duration of the whole stream.
+    pub wall_seconds: f64,
+    /// Per-update wall-clock durations.
+    pub update_seconds: Vec<f64>,
+    /// Coordinator busy fraction over the whole stream.
+    pub coord_busy_fraction: f64,
+}
+
+/// What the coordinator sends workers.
+#[derive(Debug)]
+enum WorkMsg {
+    /// Tasks to execute. The Vec travels back through the recycle channel.
+    Chunk(Vec<NodeId>),
+    /// Orderly end of the run: exit now. Distinct from a disconnect so a
+    /// dropped coordinator (panic, error path) also releases workers, but
+    /// the normal path is explicit.
+    Shutdown,
+}
+
+/// The coordinator's ends of the four pipes.
+struct Pipes {
+    work_tx: channel::Sender<WorkMsg>,
+    done_rx: channel::Receiver<CompletionBatch>,
+    /// Cleared completion batches returning to workers.
+    batch_back_tx: channel::Sender<CompletionBatch>,
+    /// Cleared chunk vectors returning from workers.
+    chunk_back_rx: channel::Receiver<Vec<NodeId>>,
 }
 
 /// A fixed-size worker pool driving one scheduler.
 pub struct Executor {
-    workers: usize,
+    cfg: ExecConfig,
 }
 
 impl Executor {
-    /// Pool with `workers` threads (the paper's experiments use 8).
+    /// Pool with `workers` threads and default batching.
     pub fn new(workers: usize) -> Executor {
-        assert!(workers >= 1);
-        Executor { workers }
+        Executor {
+            cfg: ExecConfig::new(workers),
+        }
     }
 
-    /// Execute the incremental update: dirty `initial` tasks, then run
-    /// every task the scheduler deems safe until quiescent. Panics if the
-    /// scheduler stalls or a task fires a non-edge.
+    /// Pool with explicit pipeline tuning.
+    pub fn with_config(cfg: ExecConfig) -> Executor {
+        assert!(cfg.workers >= 1);
+        assert!(cfg.batch_max >= 1 && cfg.chunk_max >= 1 && cfg.queue_cap >= 1);
+        Executor { cfg }
+    }
+
+    /// Execute one incremental update: dirty `initial` tasks, then run
+    /// every task the scheduler deems safe until quiescent.
     pub fn run(
         &self,
         scheduler: &mut dyn Scheduler,
         dag: &Arc<Dag>,
         initial: &[NodeId],
         task: TaskFn,
+    ) -> Result<ExecReport, ExecError> {
+        if self.cfg.per_task {
+            return self.run_per_task(scheduler, dag, initial, task);
+        }
+        let t0 = Instant::now();
+        let mut completion_order = Vec::new();
+        let mut wait_ns = 0u64;
+        let result = self.with_pool(dag, &task, |pipes, ready| {
+            drive_update(
+                scheduler,
+                dag,
+                initial,
+                &self.cfg,
+                pipes,
+                ready,
+                Some(&mut completion_order),
+                &mut wait_ns,
+            )
+        });
+        let executed = result?;
+        Ok(finish_report(
+            executed,
+            completion_order,
+            t0,
+            wait_ns,
+        ))
+    }
+
+    /// [`Executor::run`], panicking on error — the pre-existing contract,
+    /// kept for tests and simple tools.
+    pub fn run_or_panic(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        initial: &[NodeId],
+        task: TaskFn,
     ) -> ExecReport {
+        match self.run(scheduler, dag, initial, task) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Drive a whole stream of updates through one warm worker pool: the
+    /// scheduler is `start`ed per update (O(active) with the stamped
+    /// schedulers) and the pool, channels and buffers persist across
+    /// updates, so per-update dispatch cost is independent of both V and
+    /// the stream position.
+    pub fn run_stream(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        updates: &[Vec<NodeId>],
+        task: TaskFn,
+    ) -> Result<StreamReport, ExecError> {
+        let t0 = Instant::now();
+        let mut update_seconds = Vec::with_capacity(updates.len());
+        let mut executed = 0usize;
+        let mut wait_ns = 0u64;
+        let result = self.with_pool(dag, &task, |pipes, ready| {
+            for initial in updates {
+                let u0 = Instant::now();
+                executed += drive_update(
+                    scheduler,
+                    dag,
+                    initial,
+                    &self.cfg,
+                    pipes,
+                    ready,
+                    None,
+                    &mut wait_ns,
+                )?;
+                update_seconds.push(u0.elapsed().as_secs_f64());
+            }
+            Ok(0)
+        });
+        result?;
+        let wall = t0.elapsed();
+        record_occupancy(wall.as_nanos() as u64, wait_ns);
+        Ok(StreamReport {
+            updates: updates.len(),
+            executed,
+            wall_seconds: wall.as_secs_f64(),
+            update_seconds,
+            coord_busy_fraction: busy_fraction(wall.as_nanos() as u64, wait_ns),
+        })
+    }
+
+    /// Spawn the worker pool, run `body` on the coordinator side, then
+    /// shut the pool down (explicit [`WorkMsg::Shutdown`] per worker; the
+    /// scope join guarantees no worker outlives the call even on the
+    /// error path, where dropped channels double as the release).
+    fn with_pool<R>(
+        &self,
+        dag: &Arc<Dag>,
+        task: &TaskFn,
+        body: impl FnOnce(&Pipes, &mut Vec<NodeId>) -> Result<R, ExecError>,
+    ) -> Result<R, ExecError> {
+        let (work_tx, work_rx) = channel::bounded::<WorkMsg>(self.cfg.queue_cap);
+        let (done_tx, done_rx) = channel::unbounded::<CompletionBatch>();
+        let (batch_back_tx, batch_back_rx) = channel::unbounded::<CompletionBatch>();
+        let (chunk_back_tx, chunk_back_rx) = channel::unbounded::<Vec<NodeId>>();
+        let _ = dag; // workers don't need the DAG; validation is coordinator-side
+
+        std::thread::scope(|scope| {
+            for i in 0..self.cfg.workers {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                let batch_back_rx = batch_back_rx.clone();
+                let chunk_back_tx = chunk_back_tx.clone();
+                let task = task.clone();
+                scope.spawn(move || worker_loop(i, work_rx, done_tx, batch_back_rx, chunk_back_tx, task));
+            }
+            drop(work_rx);
+            drop(done_tx);
+            drop(batch_back_rx);
+            drop(chunk_back_tx);
+
+            if trace::enabled() {
+                trace::set_thread_name("executor-coordinator");
+            }
+            let pipes = Pipes {
+                work_tx,
+                done_rx,
+                batch_back_tx,
+                chunk_back_rx,
+            };
+            let mut ready = Vec::new();
+            let result = body(&pipes, &mut ready);
+            // Orderly shutdown: one message per worker. Workers are still
+            // draining the queue (even on the error path), so the bounded
+            // send always completes.
+            for _ in 0..self.cfg.workers {
+                let _ = pipes.work_tx.send(WorkMsg::Shutdown);
+            }
+            result
+        })
+    }
+
+    /// The pre-batching dispatch loop: one node per message, unbounded
+    /// channels, a fresh `Vec` allocated per completion, one
+    /// `pop_ready`/`on_completed` virtual call per task. Kept bit-for-bit
+    /// equivalent in behavior so `exec_throughput` measures the real
+    /// before/after of the batched pipeline.
+    fn run_per_task(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        initial: &[NodeId],
+        task: TaskFn,
+    ) -> Result<ExecReport, ExecError> {
         let t0 = Instant::now();
         let (work_tx, work_rx) = channel::unbounded::<NodeId>();
-        let (done_tx, done_rx) = channel::unbounded::<(NodeId, TaskOutcome)>();
+        let (done_tx, done_rx) = channel::unbounded::<(NodeId, Vec<NodeId>)>();
 
         scheduler.start(initial);
         let mut executed = 0usize;
         let mut completion_order = Vec::new();
+        let mut wait_ns = 0u64;
 
-        std::thread::scope(|scope| {
-            for i in 0..self.workers {
+        let result = std::thread::scope(|scope| {
+            for i in 0..self.cfg.workers {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 let task = task.clone();
@@ -78,24 +349,14 @@ impl Executor {
                         let idle = trace::span("exec", "worker.idle");
                         let Ok(node) = work_rx.recv() else { break };
                         drop(idle);
-                        // Only pay the label allocation when tracing is on.
-                        let span = trace::enabled().then(|| {
-                            trace::span_with(
-                                "exec",
-                                format!("task {}", node.0),
-                                vec![("node", (node.0 as u64).into())],
-                            )
-                        });
-                        let outcome = task(node);
-                        drop(span);
-                        if done_tx.send((node, outcome)).is_err() {
+                        let mut fired = Vec::new();
+                        task(node, &mut fired);
+                        if done_tx.send((node, fired)).is_err() {
                             break;
                         }
                     }
                 });
             }
-            // Kept only so the coordinator can sample the queue depth.
-            let work_depth = work_rx.clone();
             drop(work_rx);
             drop(done_tx);
 
@@ -103,45 +364,192 @@ impl Executor {
                 trace::set_thread_name("executor-coordinator");
             }
             let mut in_flight = 0usize;
-            loop {
+            let r = 'drive: loop {
                 while let Some(t) = scheduler.pop_ready() {
                     work_tx.send(t).expect("workers alive");
                     in_flight += 1;
                 }
-                if trace::enabled() {
-                    trace::counter("exec", "exec.work_queue_depth", work_depth.len() as f64);
-                    trace::counter("exec", "exec.in_flight", in_flight as f64);
-                }
                 if in_flight == 0 {
-                    assert!(
-                        scheduler.is_quiescent(),
-                        "{} stalled with active work remaining",
-                        scheduler.name()
-                    );
-                    break;
+                    if scheduler.is_quiescent() {
+                        break Ok(());
+                    }
+                    break Err(ExecError::Stall {
+                        scheduler: scheduler.name().to_string(),
+                    });
                 }
                 let wait = trace::span("exec", "coordinator.wait_completion");
-                let (node, outcome) = done_rx.recv().expect("workers alive");
+                let w0 = Instant::now();
+                let (node, fired) = done_rx.recv().expect("workers alive");
+                wait_ns += w0.elapsed().as_nanos() as u64;
                 drop(wait);
-                for &c in &outcome.fired {
-                    assert!(
-                        dag.has_edge(node, c),
-                        "task {node} fired non-edge to {c}"
-                    );
+                for &c in &fired {
+                    if !dag.has_edge(node, c) {
+                        break 'drive Err(ExecError::NonEdge { from: node, to: c });
+                    }
                 }
                 in_flight -= 1;
                 executed += 1;
                 completion_order.push(node);
-                scheduler.on_completed(node, &outcome.fired);
-            }
-            drop(work_tx); // workers drain and exit
+                scheduler.on_completed(node, &fired);
+            };
+            // Disconnect releases parked workers so the scope can join.
+            drop(work_tx);
+            r
         });
+        result?;
+        Ok(finish_report(executed, completion_order, t0, wait_ns))
+    }
+}
 
-        ExecReport {
-            executed,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            completion_order,
+/// Worker side: park on `recv`, execute chunks into a recycled completion
+/// batch, flush the batch whole.
+fn worker_loop(
+    i: usize,
+    work_rx: channel::Receiver<WorkMsg>,
+    done_tx: channel::Sender<CompletionBatch>,
+    batch_back_rx: channel::Receiver<CompletionBatch>,
+    chunk_back_tx: channel::Sender<Vec<NodeId>>,
+    task: TaskFn,
+) {
+    if trace::enabled() {
+        trace::set_thread_name(&format!("worker-{i}"));
+    }
+    loop {
+        let idle = trace::span("exec", "worker.idle");
+        let msg = work_rx.recv();
+        drop(idle);
+        let mut chunk = match msg {
+            Ok(WorkMsg::Chunk(chunk)) => chunk,
+            Ok(WorkMsg::Shutdown) | Err(_) => break,
+        };
+        let mut batch = batch_back_rx.try_recv().unwrap_or_default();
+        let span = trace::enabled().then(|| {
+            trace::span_with(
+                "exec",
+                format!("chunk x{}", chunk.len()),
+                vec![("tasks", chunk.len().into())],
+            )
+        });
+        for &node in &chunk {
+            task(node, batch.fired_buf());
+            batch.commit(node);
         }
+        drop(span);
+        chunk.clear();
+        let _ = chunk_back_tx.send(chunk);
+        if done_tx.send(batch).is_err() {
+            break;
+        }
+    }
+}
+
+/// One update to quiescence on the batched pipeline. Returns tasks
+/// executed; accumulates coordinator blocked-time into `wait_ns`.
+#[allow(clippy::too_many_arguments)]
+fn drive_update(
+    scheduler: &mut dyn Scheduler,
+    dag: &Dag,
+    initial: &[NodeId],
+    cfg: &ExecConfig,
+    pipes: &Pipes,
+    ready: &mut Vec<NodeId>,
+    mut order: Option<&mut Vec<NodeId>>,
+    wait_ns: &mut u64,
+) -> Result<usize, ExecError> {
+    scheduler.start(initial);
+    let mut in_flight = 0usize;
+    let mut executed = 0usize;
+    loop {
+        // Dispatch every currently-safe task, one wavefront per pop_batch.
+        loop {
+            ready.clear();
+            if scheduler.pop_batch(ready, cfg.batch_max) == 0 {
+                break;
+            }
+            in_flight += ready.len();
+            send_chunks(ready, cfg, pipes);
+        }
+        if trace::enabled() {
+            trace::counter("exec", "exec.in_flight", in_flight as f64);
+        }
+        if in_flight == 0 {
+            if scheduler.is_quiescent() {
+                return Ok(executed);
+            }
+            return Err(ExecError::Stall {
+                scheduler: scheduler.name().to_string(),
+            });
+        }
+        // Block for one completion batch, then drain whatever else landed.
+        let wait = trace::span("exec", "coordinator.wait_completion");
+        let w0 = Instant::now();
+        let mut batch = pipes.done_rx.recv().expect("workers alive");
+        *wait_ns += w0.elapsed().as_nanos() as u64;
+        drop(wait);
+        loop {
+            for (node, fired) in batch.iter() {
+                for &c in fired {
+                    if !dag.has_edge(node, c) {
+                        return Err(ExecError::NonEdge { from: node, to: c });
+                    }
+                }
+            }
+            in_flight -= batch.len();
+            executed += batch.len();
+            if let Some(order) = order.as_deref_mut() {
+                order.extend(batch.iter().map(|(node, _)| node));
+            }
+            scheduler.complete_batch(&batch);
+            batch.clear();
+            let _ = pipes.batch_back_tx.send(batch);
+            match pipes.done_rx.try_recv() {
+                Some(next) => batch = next,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Split `ready` into chunks sized to spread one wavefront across the
+/// pool (capped at `chunk_max`) and send them, recycling chunk vectors
+/// returned by workers. The bounded send is the backpressure point.
+fn send_chunks(ready: &[NodeId], cfg: &ExecConfig, pipes: &Pipes) {
+    let target = ready.len().div_ceil(cfg.workers).clamp(1, cfg.chunk_max);
+    for piece in ready.chunks(target) {
+        let mut chunk = pipes.chunk_back_rx.try_recv().unwrap_or_default();
+        chunk.extend_from_slice(piece);
+        pipes.work_tx.send(WorkMsg::Chunk(chunk)).expect("workers alive");
+    }
+}
+
+fn busy_fraction(total_ns: u64, wait_ns: u64) -> f64 {
+    if total_ns == 0 {
+        return 1.0;
+    }
+    1.0 - (wait_ns.min(total_ns) as f64 / total_ns as f64)
+}
+
+/// Always-on occupancy counters (relaxed atomic adds).
+fn record_occupancy(total_ns: u64, wait_ns: u64) {
+    let r = incr_obs::registry();
+    r.counter("exec.coord_wait_ns").add(wait_ns.min(total_ns));
+    r.counter("exec.coord_busy_ns")
+        .add(total_ns - wait_ns.min(total_ns));
+}
+
+fn finish_report(
+    executed: usize,
+    completion_order: Vec<NodeId>,
+    t0: Instant,
+    wait_ns: u64,
+) -> ExecReport {
+    let wall = t0.elapsed();
+    record_occupancy(wall.as_nanos() as u64, wait_ns);
+    ExecReport {
+        executed,
+        wall_seconds: wall.as_secs_f64(),
+        completion_order,
+        coord_busy_fraction: busy_fraction(wall.as_nanos() as u64, wait_ns),
     }
 }
 
@@ -149,7 +557,7 @@ impl Executor {
 mod tests {
     use super::*;
     use incr_dag::DagBuilder;
-    use incr_sched::{Hybrid, LevelBased, LogicBlox};
+    use incr_sched::{CostMeter, Hybrid, LevelBased, LogicBlox};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn diamond() -> Arc<Dag> {
@@ -163,20 +571,19 @@ mod tests {
     /// Fire every out-edge: full recomputation of the diamond.
     fn fire_all(dag: &Arc<Dag>) -> TaskFn {
         let dag = dag.clone();
-        Arc::new(move |v| TaskOutcome {
-            fired: dag.children(v).to_vec(),
-        })
+        Arc::new(move |v, fired: &mut Vec<NodeId>| fired.extend_from_slice(dag.children(v)))
     }
 
     #[test]
     fn executes_diamond_fully() {
         let dag = diamond();
         let mut s = LevelBased::new(dag.clone());
-        let report = Executor::new(4).run(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
+        let report = Executor::new(4).run_or_panic(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
         assert_eq!(report.executed, 4);
         assert_eq!(report.completion_order.len(), 4);
         assert_eq!(report.completion_order[0], NodeId(0));
         assert_eq!(*report.completion_order.last().unwrap(), NodeId(3));
+        assert!((0.0..=1.0).contains(&report.coord_busy_fraction));
     }
 
     #[test]
@@ -184,17 +591,19 @@ mod tests {
         let dag = diamond();
         let mut s = LogicBlox::new(dag.clone());
         // Node 0 fires only node 1; nodes 1..3 fire nothing.
-        let f: TaskFn = Arc::new(|v| TaskOutcome {
-            fired: if v == NodeId(0) { vec![NodeId(1)] } else { vec![] },
+        let f: TaskFn = Arc::new(|v, fired: &mut Vec<NodeId>| {
+            if v == NodeId(0) {
+                fired.push(NodeId(1));
+            }
         });
-        let report = Executor::new(2).run(&mut s, &dag, &[NodeId(0)], f);
+        let report = Executor::new(2).run_or_panic(&mut s, &dag, &[NodeId(0)], f);
         assert_eq!(report.executed, 2);
     }
 
     #[test]
     fn tasks_run_in_parallel_on_real_threads() {
-        // Wide fan: one source, 16 children; children block on a barrier
-        // that only releases when several run concurrently.
+        // Wide fan: one source, 16 children; verify several children
+        // overlap in time across worker threads.
         let mut b = DagBuilder::new(17);
         for i in 1..17u32 {
             b.add_edge(NodeId(0), NodeId(i));
@@ -207,17 +616,18 @@ mod tests {
             let dag = dag.clone();
             let peak = peak.clone();
             let live = live.clone();
-            Arc::new(move |v| {
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
                 let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
                 std::thread::sleep(std::time::Duration::from_millis(5));
                 live.fetch_sub(1, Ordering::SeqCst);
-                TaskOutcome {
-                    fired: dag.children(v).to_vec(),
-                }
+                fired.extend_from_slice(dag.children(v));
             })
         };
-        let report = Executor::new(8).run(&mut s, &dag, &[NodeId(0)], f);
+        // Chunk size 1 so the fan spreads across all 8 workers.
+        let mut cfg = ExecConfig::new(8);
+        cfg.chunk_max = 1;
+        let report = Executor::with_config(cfg).run_or_panic(&mut s, &dag, &[NodeId(0)], f);
         assert_eq!(report.executed, 17);
         assert!(
             peak.load(Ordering::SeqCst) >= 4,
@@ -230,18 +640,124 @@ mod tests {
     fn hybrid_runs_on_real_threads() {
         let dag = diamond();
         let mut s = Hybrid::new(dag.clone());
-        let report = Executor::new(4).run(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
+        let report = Executor::new(4).run_or_panic(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
         assert_eq!(report.executed, 4);
     }
 
     #[test]
-    #[should_panic(expected = "fired non-edge")]
-    fn firing_a_non_edge_is_caught() {
+    fn firing_a_non_edge_returns_typed_error() {
         let dag = diamond();
         let mut s = LevelBased::new(dag.clone());
-        let f: TaskFn = Arc::new(|_| TaskOutcome {
-            fired: vec![NodeId(3)], // node 0 has no edge to 3
+        let f: TaskFn = Arc::new(|_, fired: &mut Vec<NodeId>| {
+            fired.push(NodeId(3)); // node 0 has no edge to 3
         });
-        let _ = Executor::new(2).run(&mut s, &dag, &[NodeId(0)], f);
+        let err = Executor::new(2)
+            .run(&mut s, &dag, &[NodeId(0)], f)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::NonEdge {
+                from: NodeId(0),
+                to: NodeId(3)
+            }
+        );
+        assert!(err.to_string().contains("fired non-edge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fired non-edge")]
+    fn firing_a_non_edge_panics_via_shim() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let f: TaskFn = Arc::new(|_, fired: &mut Vec<NodeId>| {
+            fired.push(NodeId(3));
+        });
+        let _ = Executor::new(2).run_or_panic(&mut s, &dag, &[NodeId(0)], f);
+    }
+
+    /// A scheduler that admits active work but never offers any task:
+    /// the executor must surface a stall instead of hanging or panicking.
+    struct Hoarder {
+        active: usize,
+    }
+
+    impl Scheduler for Hoarder {
+        fn name(&self) -> &str {
+            "Hoarder"
+        }
+        fn start(&mut self, initial_active: &[NodeId]) {
+            self.active = initial_active.len();
+        }
+        fn on_completed(&mut self, _v: NodeId, _fired: &[NodeId]) {}
+        fn pop_ready(&mut self) -> Option<NodeId> {
+            None
+        }
+        fn is_quiescent(&self) -> bool {
+            self.active == 0
+        }
+        fn cost(&self) -> CostMeter {
+            CostMeter::default()
+        }
+        fn space_bytes(&self) -> usize {
+            0
+        }
+        fn precompute_bytes(&self) -> usize {
+            0
+        }
+        fn on_external_dispatch(&mut self, _v: NodeId) {}
+    }
+
+    #[test]
+    fn scheduler_stall_returns_typed_error() {
+        let dag = diamond();
+        let mut s = Hoarder { active: 0 };
+        let err = Executor::new(2)
+            .run(&mut s, &dag, &[NodeId(0)], fire_all(&dag))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::Stall {
+                scheduler: "Hoarder".to_string()
+            }
+        );
+        assert!(err.to_string().contains("stalled with active work remaining"));
+    }
+
+    #[test]
+    fn empty_update_returns_immediately() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let report = Executor::new(4).run_or_panic(&mut s, &dag, &[], fire_all(&dag));
+        assert_eq!(report.executed, 0);
+        assert!(report.completion_order.is_empty());
+    }
+
+    #[test]
+    fn per_task_mode_matches_batched() {
+        let dag = diamond();
+        for per_task in [false, true] {
+            let mut cfg = ExecConfig::new(3);
+            cfg.per_task = per_task;
+            let mut s = LevelBased::new(dag.clone());
+            let report =
+                Executor::with_config(cfg).run_or_panic(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
+            assert_eq!(report.executed, 4, "per_task={per_task}");
+            assert_eq!(report.completion_order[0], NodeId(0));
+        }
+    }
+
+    #[test]
+    fn stream_reuses_pool_across_updates() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let updates: Vec<Vec<NodeId>> =
+            vec![vec![NodeId(0)], vec![], vec![NodeId(1)], vec![NodeId(0)]];
+        let report = Executor::new(4)
+            .run_stream(&mut s, &dag, &updates, fire_all(&dag))
+            .unwrap();
+        assert_eq!(report.updates, 4);
+        // 4 (full) + 0 (empty) + 2 (from node 1) + 4 (full again).
+        assert_eq!(report.executed, 10);
+        assert_eq!(report.update_seconds.len(), 4);
     }
 }

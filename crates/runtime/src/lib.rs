@@ -7,10 +7,14 @@
 //! re-derive predicates after base-data updates; the examples use it to
 //! demonstrate the hybrid's shared ready supply on real threads.
 //!
-//! * [`executor`] — the dispatch loop: scheduler behind a mutex, workers
-//!   fed through crossbeam channels, completions reported back with the
-//!   fired-edge sets the task functions compute.
+//! * [`executor`] — the batched dispatch pipeline: the coordinator owns
+//!   the scheduler and pulls whole wavefronts (`pop_batch`), workers are
+//!   fed multi-task chunks over bounded channels (backpressure) and flush
+//!   completions in reusable batches with the fired-edge sets the task
+//!   functions compute.
 
 pub mod executor;
 
-pub use executor::{ExecReport, Executor, TaskFn, TaskOutcome};
+pub use executor::{
+    ExecConfig, ExecError, ExecReport, Executor, StreamReport, TaskFn,
+};

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release --example threaded_hybrid`
 
 use datalog_sched::dag::{DagBuilder, NodeId};
-use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::runtime::{Executor, TaskFn};
 use datalog_sched::sched::{Hybrid, LevelBased, LogicBlox, Scheduler};
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,15 +29,13 @@ fn main() {
     // children (full recomputation of each pipeline).
     let task: TaskFn = {
         let dag = dag.clone();
-        Arc::new(move |v| {
+        Arc::new(move |v, fired: &mut Vec<NodeId>| {
             let mut acc = v.0 as u64;
             for i in 0..20_000u64 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
             }
             std::hint::black_box(acc);
-            TaskOutcome {
-                fired: dag.children(v).to_vec(),
-            }
+            fired.extend_from_slice(dag.children(v));
         })
     };
 
@@ -55,7 +53,7 @@ fn main() {
         ];
         for mut s in schedulers {
             let t0 = Instant::now();
-            let report = Executor::new(workers).run(s.as_mut(), &dag, &initial, task.clone());
+            let report = Executor::new(workers).run_or_panic(s.as_mut(), &dag, &initial, task.clone());
             println!(
                 "  {:>2} workers  {:<12} {:>8.2} ms  ({} tasks executed)",
                 workers,

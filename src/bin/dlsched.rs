@@ -13,12 +13,17 @@
 //!                                     simulated run plus a real threaded
 //!                                     replay (scheduler + simulator +
 //!                                     executor layers)
+//! dlsched stream [--nodes V] [--sched S] [--updates U] [--update-size K]
+//!                [--procs P] [--batch B] [--task-us D]
+//!                                     drive a stream of K-node updates over a
+//!                                     V-node DAG through one warm worker pool
+//!                                     and report updates/sec + tasks/sec
 //! ```
 //!
 //! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
 //! `hybrid`, `hybrid-bg:<slice>`, `exact`.
 
-use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::runtime::{ExecConfig, Executor, TaskFn};
 use datalog_sched::sched::{CostPrices, Observed, SchedulerKind};
 use datalog_sched::sim::{record_timeline, simulate_event, EventSimConfig};
 use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
@@ -35,9 +40,10 @@ fn main() {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("gantt") => cmd_gantt(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dlsched <gen|stats|simulate|gantt|trace> ...\n\
+                "usage: dlsched <gen|stats|simulate|gantt|trace|stream> ...\n\
                  see the crate docs (src/bin/dlsched.rs) for details"
             );
             2
@@ -261,10 +267,17 @@ fn cmd_trace(args: &[String]) -> i32 {
     // spans on worker threads, more `sched` spans on the coordinator.
     let mut exec_sched = Observed::new(kind.build(inst.dag.clone()));
     let fired: Arc<Vec<Vec<incr_dag::NodeId>>> = Arc::new(inst.fired.clone());
-    let task: TaskFn = Arc::new(move |v| TaskOutcome {
-        fired: fired[v.index()].clone(),
+    let task: TaskFn = Arc::new(move |v, out: &mut Vec<incr_dag::NodeId>| {
+        out.extend_from_slice(&fired[v.index()]);
     });
-    let report = Executor::new(procs).run(&mut exec_sched, &inst.dag, &inst.initial_active, task);
+    let report = match Executor::new(procs).run(&mut exec_sched, &inst.dag, &inst.initial_active, task)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return 1;
+        }
+    };
 
     trace::disable();
     let threads = trace::drain();
@@ -302,6 +315,93 @@ fn cmd_trace(args: &[String]) -> i32 {
         println!("  dropped             {dropped} events (per-thread buffer cap)");
     }
     println!("  wrote {out} — open in https://ui.perfetto.dev");
+    0
+}
+
+/// Drive a stream of small updates over a big DAG through one warm worker
+/// pool — the sustained-throughput scenario the batched dispatch core is
+/// built for. Per-update dispatch cost should track the update's active
+/// set, not the DAG size.
+fn cmd_stream(args: &[String]) -> i32 {
+    let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let updates: usize = flag(args, "--updates").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let update_size: usize = flag(args, "--update-size").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let procs: usize = flag(args, "--procs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let batch: usize = flag(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(256);
+    let task_us: u64 = flag(args, "--task-us").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("levelbased")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    // Fixed-depth layered DAG: growing V grows the width, not the depth,
+    // so a K-node update touches a V-independent slice of the graph.
+    let layers = 20u32;
+    let width = (nodes as u32 / layers).max(1);
+    let dag = Arc::new(incr_dag::random::layered(incr_dag::random::LayeredParams {
+        layers,
+        width,
+        max_in: 4,
+        back_span: 2,
+        seed: 42,
+    }));
+    let n = dag.node_count();
+
+    // Deterministic per-update dirty sets drawn from the first layer.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut lcg = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let stream: Vec<Vec<incr_dag::NodeId>> = (0..updates)
+        .map(|_| {
+            (0..update_size)
+                .map(|_| incr_dag::NodeId((lcg() % width.min(n as u32) as usize) as u32))
+                .collect()
+        })
+        .collect();
+
+    let dag2 = dag.clone();
+    let task: TaskFn = Arc::new(move |v, out: &mut Vec<incr_dag::NodeId>| {
+        if task_us > 0 {
+            let t0 = std::time::Instant::now();
+            while t0.elapsed().as_micros() < task_us as u128 {
+                std::hint::spin_loop();
+            }
+        }
+        // Fire roughly half the out-edges: partial incremental change.
+        for (i, &c) in dag2.children(v).iter().enumerate() {
+            if i % 2 == 0 {
+                out.push(c);
+            }
+        }
+    });
+
+    let mut cfg = ExecConfig::new(procs);
+    cfg.batch_max = batch.max(1);
+    let mut sched = kind.build(dag.clone());
+    let report = match Executor::with_config(cfg).run_stream(sched.as_mut(), &dag, &stream, task) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            return 1;
+        }
+    };
+
+    let mean_update = report.update_seconds.iter().sum::<f64>() / report.updates.max(1) as f64;
+    println!(
+        "{} nodes, {} updates x {} dirty, {} under {} (batch {}):",
+        n, updates, update_size, procs, kind.label(), batch
+    );
+    println!("  tasks executed   {}", report.executed);
+    println!("  wall time        {:.4} s", report.wall_seconds);
+    println!("  updates/sec      {:.0}", report.updates as f64 / report.wall_seconds);
+    println!("  tasks/sec        {:.0}", report.executed as f64 / report.wall_seconds);
+    println!("  mean update      {:.1} us", mean_update * 1e6);
+    println!("  coord busy       {:.1}%", report.coord_busy_fraction * 100.0);
     0
 }
 

@@ -57,6 +57,7 @@ fn lemma3_unit_tasks() {
                 &StepSimConfig {
                     processors: p,
                     audit: true,
+                    batch_pops: false,
                 },
             );
             let bound = w.div_ceil(p as u64) + l;
@@ -84,6 +85,7 @@ fn lemma5_fully_parallel_tasks() {
                 &StepSimConfig {
                     processors: p,
                     audit: true,
+                    batch_pops: false,
                 },
             );
             let bound = w.div_ceil(p as u64) + l;
@@ -111,6 +113,7 @@ fn lemma7_arbitrary_tasks() {
                 &StepSimConfig {
                     processors: p,
                     audit: true,
+                    batch_pops: false,
                 },
             );
             let bound = w.div_ceil(p as u64) + sum_spans;
@@ -134,6 +137,7 @@ fn theorem9_tight_example() {
         let cfg = StepSimConfig {
             processors: l as usize,
             audit: true,
+            batch_pops: false,
         };
         let mut lb = LevelBased::new(inst.dag.clone());
         let m_lb = simulate_step(&mut lb, &inst, &cfg).makespan;
@@ -169,6 +173,7 @@ fn theorem2_cost_and_space() {
             &StepSimConfig {
                 processors: 4,
                 audit: false,
+                batch_pops: false,
             },
         );
         let n = r.executed as u64;

@@ -4,7 +4,7 @@
 //! combinator under the executor.
 
 use datalog_sched::dag::{DagBuilder, NodeId};
-use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::runtime::{Executor, TaskFn};
 use datalog_sched::sched::{
     CostPrices, Duo, LevelBased, LevelBasedLookahead, LogicBlox, Scheduler, SchedulerKind,
 };
@@ -142,21 +142,19 @@ fn executor_stress_five_thousand_tasks() {
     let initial: Vec<NodeId> = (0..pipes).map(|p| node(p, 0)).collect();
     let task: TaskFn = {
         let dag = dag.clone();
-        Arc::new(move |v| TaskOutcome {
-            fired: dag.children(v).to_vec(),
-        })
+        Arc::new(move |v, fired: &mut Vec<NodeId>| fired.extend_from_slice(dag.children(v)))
     };
     let expected = (pipes * depth) as usize;
 
     let mut lb = LevelBased::new(dag.clone());
-    let r = Executor::new(8).run(&mut lb, &dag, &initial, task.clone());
+    let r = Executor::new(8).run_or_panic(&mut lb, &dag, &initial, task.clone());
     assert_eq!(r.executed, expected);
 
     let mut duo = Duo::new(
         LevelBasedLookahead::new(dag.clone(), 3),
         LogicBlox::new(dag.clone()),
     );
-    let r = Executor::new(8).run(&mut duo, &dag, &initial, task.clone());
+    let r = Executor::new(8).run_or_panic(&mut duo, &dag, &initial, task.clone());
     assert_eq!(r.executed, expected);
 }
 
@@ -203,6 +201,7 @@ fn event_and_step_agree_on_unit_bounds() {
                 &StepSimConfig {
                     processors: p,
                     audit: false,
+                    batch_pops: false,
                 },
             );
             assert!(ev.makespan as u64 <= bound, "event sim broke the bound");

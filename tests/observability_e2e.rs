@@ -6,7 +6,7 @@
 //! lock and drains the buffers before starting.
 
 use datalog_sched::datalog::{FactEdit, IncrementalEngine};
-use datalog_sched::runtime::{Executor, TaskFn, TaskOutcome};
+use datalog_sched::runtime::{Executor, TaskFn};
 use datalog_sched::sched::{Observed, SchedulerKind};
 use datalog_sched::sim::{simulate_event, EventSimConfig};
 use datalog_sched::traces::{generate, preset};
@@ -39,10 +39,10 @@ fn executor_run_produces_balanced_multithreaded_trace() {
     let (stats, text) = run_and_validate(|| {
         let mut s = Observed::new(SchedulerKind::Hybrid.build(inst.dag.clone()));
         let fired = Arc::new(inst.fired.clone());
-        let task: TaskFn = Arc::new(move |v| TaskOutcome {
-            fired: fired[v.index()].clone(),
+        let task: TaskFn = Arc::new(move |v, out: &mut Vec<_>| {
+            out.extend_from_slice(&fired[v.index()]);
         });
-        let report = Executor::new(4).run(&mut s, &inst.dag, &inst.initial_active, task);
+        let report = Executor::new(4).run_or_panic(&mut s, &inst.dag, &inst.initial_active, task);
         assert_eq!(report.executed, inst.active_count());
     });
     assert!(stats.spans > 0, "executor run must record spans");

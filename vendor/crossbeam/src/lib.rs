@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided — an unbounded MPMC channel with cloneable
-//! senders *and* receivers plus disconnect semantics, which is what the
+//! Only [`channel`] is provided — MPMC channels with cloneable senders
+//! *and* receivers plus disconnect semantics, which is what the
 //! executor's work/completion queues need and what `std::sync::mpsc`
-//! cannot give (its receiver is single-consumer). Built on
-//! `Mutex<VecDeque>` + `Condvar`; throughput is adequate for a work queue
-//! whose items are whole tasks.
+//! cannot give (its receiver is single-consumer). Two flavours:
+//!
+//! * [`channel::unbounded`] — never blocks the sender.
+//! * [`channel::bounded`] — a capacity-limited queue whose `send` blocks
+//!   while the queue is full: the backpressure primitive the batched
+//!   executor uses so a fast coordinator cannot run arbitrarily far
+//!   ahead of slow workers.
+//!
+//! Built on `Mutex<VecDeque>` + two `Condvar`s; throughput is adequate
+//! for work queues whose items are whole task batches.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -13,7 +20,12 @@ pub mod channel {
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
+        /// Signalled when an item arrives or the channel disconnects.
         ready: Condvar,
+        /// Signalled when space frees up in a bounded channel.
+        vacancy: Condvar,
+        /// `usize::MAX` encodes "unbounded".
+        cap: usize,
     }
 
     struct State<T> {
@@ -42,8 +54,7 @@ pub mod channel {
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// An unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
@@ -51,6 +62,8 @@ pub mod channel {
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            vacancy: Condvar::new(),
+            cap,
         });
         (
             Sender {
@@ -60,10 +73,43 @@ pub mod channel {
         )
     }
 
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// A bounded MPMC channel holding at most `cap` items; `send` blocks
+    /// while the queue is full (backpressure). `cap` must be ≥ 1 —
+    /// rendezvous (zero-capacity) channels are not supported.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        with_cap(cap)
+    }
+
     impl<T> Sender<T> {
+        /// Queue `value`, blocking while a bounded channel is at capacity.
+        /// Fails (returning the value) once every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap();
-            if state.receivers == 0 {
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.items.len() < self.shared.cap {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.vacancy.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking send: `Err` with the value when the queue is full
+        /// or every receiver dropped.
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 || state.items.len() >= self.shared.cap {
                 return Err(SendError(value));
             }
             state.items.push_back(value);
@@ -99,6 +145,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap();
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.vacancy.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -111,7 +159,11 @@ pub mod channel {
         /// Non-blocking pop, `None` when currently empty (even if senders
         /// remain).
         pub fn try_recv(&self) -> Option<T> {
-            self.shared.queue.lock().unwrap().items.pop_front()
+            let item = self.shared.queue.lock().unwrap().items.pop_front();
+            if item.is_some() {
+                self.shared.vacancy.notify_one();
+            }
+            item
         }
 
         /// Number of items currently queued.
@@ -142,6 +194,11 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.shared.queue.lock().unwrap();
             state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.vacancy.notify_all();
+            }
         }
     }
 
@@ -216,5 +273,42 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(7));
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(channel::SendError(3)));
+        // A blocked send completes once the consumer makes room.
+        let producer = thread::spawn(move || tx.send(3).map_err(|_| ()));
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let producer = thread::spawn(move || tx.send(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn bounded_capacity_is_enforced() {
+        let (tx, rx) = channel::bounded(3);
+        for i in 0..3 {
+            tx.try_send(i).unwrap();
+        }
+        assert!(tx.try_send(99).is_err());
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.try_recv(), Some(0));
+        tx.try_send(99).unwrap();
     }
 }
