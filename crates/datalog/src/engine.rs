@@ -23,12 +23,17 @@ use incr_sched::{CostMeter, Scheduler};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Engine construction errors.
+/// Engine construction and update errors.
 #[derive(Debug)]
 pub enum EngineError {
     Parse(ParseError),
     Stratify(StratifyError),
     Edit(String),
+    /// The driving scheduler stalled (offered no task while active work
+    /// remained). The update was rolled back: the materialization is
+    /// exactly what it was before the failed update, and retrying the
+    /// same update is idempotent.
+    Stall { scheduler: String },
 }
 
 impl std::fmt::Display for EngineError {
@@ -37,6 +42,10 @@ impl std::fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "{e}"),
             EngineError::Stratify(e) => write!(f, "{e}"),
             EngineError::Edit(e) => write!(f, "bad edit: {e}"),
+            EngineError::Stall { scheduler } => write!(
+                f,
+                "{scheduler} stalled mid-update; the update was rolled back"
+            ),
         }
     }
 }
@@ -265,8 +274,15 @@ impl IncrementalEngine {
             .map(|(p, _)| self.graph.node_of_pred[p])
             .collect();
 
-        // 3. Drive the scheduler.
-        Ok(self.drive(scheduler, &initial, base_deltas, HashMap::new()))
+        // 3. Drive the scheduler. The base edits applied in step 1 seed
+        // the undo log, so a failed drive rolls them back too and the
+        // whole update is atomic.
+        let undo: Vec<(PredId, Delta)> = base_deltas
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(p, d)| (*p, d.clone()))
+            .collect();
+        self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo)
     }
 
     /// The scheduler-driven propagation loop shared by fact updates and
@@ -274,13 +290,23 @@ impl IncrementalEngine {
     /// `preset` short-circuits a node's execution with a precomputed
     /// output delta (used by rule changes, whose head clique is
     /// re-evaluated before propagation starts).
+    ///
+    /// `undo` seeds the undo log with deltas the *caller* already applied
+    /// to the database (base edits, preset re-evaluations); every clique
+    /// execution appends its own net deltas. If the scheduler stalls, the
+    /// log is replayed in reverse — added tuples removed, removed tuples
+    /// re-inserted — restoring the materialization bit-for-bit to its
+    /// pre-update state before returning [`EngineError::Stall`], so a
+    /// failed update rolls back atomically and retrying it (with a
+    /// working scheduler) is idempotent.
     fn drive(
         &mut self,
         scheduler: &mut dyn Scheduler,
         initial: &[NodeId],
         mut base_deltas: HashMap<PredId, Delta>,
         mut preset: HashMap<NodeId, HashMap<PredId, Delta>>,
-    ) -> UpdateReport {
+        mut undo: Vec<(PredId, Delta)>,
+    ) -> Result<UpdateReport, EngineError> {
         let mut pending: Vec<HashMap<PredId, Delta>> =
             vec![HashMap::new(); self.graph.dag.node_count()];
         let mut edges_fired = 0usize;
@@ -315,7 +341,7 @@ impl IncrementalEngine {
                     NodeKind::Clique { preds, .. } => {
                         let rules = self.node_rules[node.index()].clone();
                         let input = std::mem::take(&mut pending[node.index()]);
-                        if rules.iter().any(|r| r.agg.is_some()) {
+                        let out = if rules.iter().any(|r| r.agg.is_some()) {
                             // Aggregate cliques cannot be delta-pinned: a
                             // single input tuple can change a whole group's
                             // fold. Their inputs are final here, so a full
@@ -324,7 +350,17 @@ impl IncrementalEngine {
                             reevaluate_scc_opts(&mut self.db, &rules, preds, &self.opts)
                         } else {
                             update_scc_opts(&mut self.db, &rules, preds, &input, &self.opts)
+                        };
+                        // The clique just mutated the database by these net
+                        // deltas; log them so a failed update can roll back.
+                        // (Base and preset deltas arrive pre-seeded in
+                        // `undo` — recording them here would double them.)
+                        for (p, d) in &out {
+                            if !d.is_empty() {
+                                undo.push((*p, d.clone()));
+                            }
                         }
+                        out
                     }
                 }
             };
@@ -362,17 +398,36 @@ impl IncrementalEngine {
             }
             scheduler.on_completed(node, &fired);
         }
-        assert!(
-            scheduler.is_quiescent(),
-            "scheduler stalled during Datalog update"
-        );
+        if !scheduler.is_quiescent() {
+            self.rollback(undo);
+            return Err(EngineError::Stall {
+                scheduler: scheduler.name().to_string(),
+            });
+        }
 
-        UpdateReport {
+        Ok(UpdateReport {
             tasks_executed: order.len(),
             edges_fired,
             pred_changes,
             sched_cost: scheduler.cost(),
             order,
+        })
+    }
+
+    /// Undo every applied delta in reverse order: tuples an update added
+    /// are removed, tuples it removed are re-inserted. Deltas are *net*
+    /// per application (a tuple is never both added and removed within
+    /// one entry), so reverse replay restores the exact prior contents.
+    fn rollback(&mut self, undo: Vec<(PredId, Delta)>) {
+        let _span = trace::span("datalog", "update.rollback");
+        for (p, d) in undo.into_iter().rev() {
+            let rel = self.db.rel_mut(p);
+            for t in &d.added {
+                rel.remove(t);
+            }
+            for t in &d.removed {
+                rel.insert(t.clone());
+            }
         }
     }
 
@@ -501,14 +556,23 @@ impl IncrementalEngine {
                 HashMap::from([(head, d)])
             }
         };
+        // The head re-evaluation above already mutated the database; seed
+        // the undo log with it so a stalled propagation rolls the data
+        // back to the pre-change materialization (the new rule set stays —
+        // re-drive with a working scheduler to converge).
+        let undo: Vec<(PredId, Delta)> = out
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(p, d)| (*p, d.clone()))
+            .collect();
         let mut scheduler = make_sched(self.graph.dag.clone());
-        let report = self.drive(
+        self.drive(
             scheduler.as_mut(),
             &[node],
             HashMap::new(),
             HashMap::from([(node, out)]),
-        );
-        Ok(report)
+            undo,
+        )
     }
 
     /// Pattern query against the materialization, e.g. `path(a, ?)`.
@@ -902,6 +966,173 @@ mod tests {
         assert!(crate::parser::parse_program("p(X) :- q(count(X)).").is_err());
         assert!(crate::parser::parse_program("p(count(X), sum(Y)) :- q(X, Y).").is_err());
         assert!(crate::parser::parse_program("p(avg(X)) :- q(X).").is_err());
+    }
+
+    /// Pops the first `quota` tasks, then refuses to schedule — a broken
+    /// scheduler that wedges an update partway through.
+    struct QuotaStall {
+        inner: LevelBased,
+        quota: usize,
+        popped: usize,
+    }
+
+    impl QuotaStall {
+        fn new(dag: Arc<Dag>, quota: usize) -> Self {
+            QuotaStall {
+                inner: LevelBased::new(dag),
+                quota,
+                popped: 0,
+            }
+        }
+    }
+
+    impl Scheduler for QuotaStall {
+        fn name(&self) -> &str {
+            "QuotaStall"
+        }
+        fn start(&mut self, initial: &[NodeId]) {
+            self.popped = 0;
+            self.inner.start(initial);
+        }
+        fn on_completed(&mut self, v: NodeId, fired: &[NodeId]) {
+            self.inner.on_completed(v, fired);
+        }
+        fn pop_ready(&mut self) -> Option<NodeId> {
+            if self.popped >= self.quota {
+                return None;
+            }
+            let t = self.inner.pop_ready();
+            if t.is_some() {
+                self.popped += 1;
+            }
+            t
+        }
+        fn is_quiescent(&self) -> bool {
+            self.inner.is_quiescent()
+        }
+        fn cost(&self) -> CostMeter {
+            self.inner.cost()
+        }
+        fn space_bytes(&self) -> usize {
+            self.inner.space_bytes()
+        }
+        fn precompute_bytes(&self) -> usize {
+            self.inner.precompute_bytes()
+        }
+        fn on_external_dispatch(&mut self, v: NodeId) {
+            self.inner.on_external_dispatch(v);
+        }
+    }
+
+    /// Capture the full contents of every relation, sorted — the
+    /// bit-identical yardstick for rollback tests.
+    fn db_image(e: &IncrementalEngine, preds: &[&str]) -> Vec<Vec<String>> {
+        preds
+            .iter()
+            .map(|p| {
+                let mut rows = e.query(&format!(
+                    "{p}({})",
+                    vec!["?"; e.db.rel(e.db.pred_id(p).unwrap()).arity()].join(", ")
+                ))
+                .unwrap();
+                rows.sort();
+                rows
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stalled_update_rolls_back_and_retry_is_idempotent() {
+        let mut e = IncrementalEngine::new(TC).unwrap();
+        let before = db_image(&e, &["edge", "path"]);
+        let dag = e.dag().clone();
+
+        // Quota 1: the base-edit node runs (edge mutated, path pending)
+        // and then the scheduler refuses to continue.
+        let mut broken = QuotaStall::new(dag.clone(), 1);
+        let err = e
+            .update(&mut broken, &[FactEdit::add("edge", &["c", "d"])])
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Stall { ref scheduler } if scheduler == "QuotaStall"),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("rolled back"));
+        assert_eq!(
+            db_image(&e, &["edge", "path"]),
+            before,
+            "failed update must leave no trace"
+        );
+
+        // Retrying the same edit with a working scheduler matches a fresh
+        // engine that never saw the failure.
+        let mut good = LevelBased::new(dag);
+        e.update(&mut good, &[FactEdit::add("edge", &["c", "d"])])
+            .unwrap();
+        let mut fresh = IncrementalEngine::new(TC).unwrap();
+        let dag2 = fresh.dag().clone();
+        let mut s2 = LevelBased::new(dag2);
+        fresh
+            .update(&mut s2, &[FactEdit::add("edge", &["c", "d"])])
+            .unwrap();
+        assert_eq!(
+            db_image(&e, &["edge", "path"]),
+            db_image(&fresh, &["edge", "path"]),
+            "recovered state must be bit-identical to the never-failed run"
+        );
+    }
+
+    #[test]
+    fn stall_mid_cascade_rolls_back_clique_outputs_too() {
+        // Deletion exercises the DRed path: overdelete/rederive deltas in
+        // `path` must be undone, not just the base edit.
+        let src = "p2(X, Y) :- path(X, Y).\n\
+                   path(X, Y) :- edge(X, Y).\n\
+                   path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                   edge(a, b). edge(b, c).";
+        let mut e = IncrementalEngine::new(src).unwrap();
+        let preds = ["edge", "path", "p2"];
+        let before = db_image(&e, &preds);
+        let dag = e.dag().clone();
+
+        // Quota 2: base node + path clique execute (path shrinks), then
+        // the scheduler wedges before p2 can be updated.
+        let mut broken = QuotaStall::new(dag.clone(), 2);
+        let err = e
+            .update(&mut broken, &[FactEdit::remove("edge", &["a", "b"])])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Stall { .. }));
+        assert_eq!(
+            db_image(&e, &preds),
+            before,
+            "clique deltas must be rolled back alongside the base edit"
+        );
+
+        // Idempotent retry completes the deletion.
+        let mut good = Hybrid::new(dag);
+        e.update(&mut good, &[FactEdit::remove("edge", &["a", "b"])])
+            .unwrap();
+        assert!(!e.has("path", &["a", "c"]));
+        assert!(!e.has("p2", &["a", "b"]));
+        assert_eq!(e.count("path"), 1);
+        assert_eq!(e.count("p2"), 1);
+    }
+
+    #[test]
+    fn stalled_rule_change_rolls_back_data() {
+        let mut e = IncrementalEngine::new(TC).unwrap();
+        assert_eq!(e.count("path"), 3);
+        // A scheduler that refuses all work: the head clique's preset
+        // delta was applied before the drive, and must be undone.
+        let err = e.add_rule("path(Y, X) :- edge(X, Y).", |dag| {
+            Box::new(QuotaStall::new(dag, 0))
+        });
+        assert!(matches!(err, Err(EngineError::Stall { .. })));
+        assert_eq!(
+            e.count("path"),
+            3,
+            "preset delta rolled back on stalled propagation"
+        );
     }
 
     #[test]

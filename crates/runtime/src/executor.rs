@@ -1,5 +1,5 @@
 //! The threaded dispatch loop, built for sustained update-stream
-//! throughput.
+//! throughput *under failure*.
 //!
 //! One coordinating thread owns the scheduler; `workers` threads execute
 //! task closures. The hot path is batched end to end:
@@ -17,31 +17,212 @@
 //!   batches recycle between the two sides so steady state allocates
 //!   nothing.
 //!
+//! # Fault tolerance
+//!
+//! The paper's safety invariant — no active task executes twice — must
+//! hold even when a task body misbehaves, so every failure mode has a
+//! typed, non-hanging exit:
+//!
+//! * **Panic isolation** — task bodies run under `catch_unwind`; a panic
+//!   becomes [`ExecError::TaskPanicked`], the pipeline drains cleanly
+//!   (outstanding completions are committed, workers shut down), and the
+//!   coordinator returns `Err` instead of wedging or poisoning threads.
+//! * **Retry with bounded backoff** — a fallible task body
+//!   ([`TryTaskFn`]) may return [`TaskOutcome::Retryable`]; the worker
+//!   re-runs it per the executor's [`RetryPolicy`] with exponential
+//!   backoff. Only *failed* attempts re-run — a successful execution is
+//!   never repeated, so run-once safety is preserved. Exhausted retries
+//!   surface as [`ExecError::TaskFailed`]. `exec.retries` and
+//!   `exec.task_failures` count both in `incr-obs`.
+//! * **Stall watchdog** — an optional per-update deadline
+//!   ([`ExecConfig::deadline`]): instead of hanging forever on a wedged
+//!   pipeline, the run returns [`ExecError::Timeout`] carrying an
+//!   [`ExecSnapshot`] diagnostic (in-flight nodes, queue depth).
+//! * **Cancellation** — a [`CancelToken`] aborts an in-flight update
+//!   between wavefronts; in-flight completions are committed, then the
+//!   run returns [`ExecError::Cancelled`]. The generation-stamped
+//!   schedulers make the abandoned state harmless: the next `start()`
+//!   behaves exactly like a fresh update.
+//! * **Crash-consistent resume** — [`Executor::run_fallible`] can
+//!   journal the executed set into an [`UpdateJournal`]; re-running a
+//!   failed update with the same journal *replays* journaled completions
+//!   (delivering their recorded fired sets to the scheduler without
+//!   executing the task again) and executes only what the failed attempt
+//!   never ran.
+//!
 //! Workers park in `recv` when the queue is empty (condvar, no spinning)
 //! and exit on an explicit [`WorkMsg::Shutdown`] — distinct from a stalled
-//! scheduler, which surfaces as [`ExecError::Stall`]. Completion order is
-//! still recorded for the safety checker; the "fired" sets come from
-//! *real computation* (e.g. the Datalog engine reporting whether a
-//! predicate's output actually changed).
+//! scheduler, which surfaces as [`ExecError::Stall`]. Worker threads are
+//! joined with a bounded grace period; a thread wedged inside a hung task
+//! body is *leaked* (counted in `exec.workers_leaked`) rather than letting
+//! it hold the caller hostage. Completion order is still recorded for the
+//! safety checker; the "fired" sets come from *real computation* (e.g.
+//! the Datalog engine reporting whether a predicate's output actually
+//! changed).
 //!
 //! [`Executor::run_stream`] drives a whole stream of updates through one
 //! warm worker pool — combined with the O(active) `start()` of the
 //! schedulers, a stream of 10-node updates costs per-update work
-//! proportional to 10, not to the DAG size.
+//! proportional to 10, not to the DAG size. A mid-stream failure returns
+//! [`StreamError`], which reports the error *and* the accounting for the
+//! updates that did complete (later updates are not attempted).
 
-use crossbeam::channel;
+use crossbeam::channel::{self, RecvTimeoutError};
 use incr_dag::{Dag, NodeId};
 use incr_obs::trace;
 use incr_sched::{CompletionBatch, Scheduler};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A task body: executed on a worker thread for each dispatched node.
-/// Children whose input changed are appended to `fired` (which the caller
-/// provides and recycles — implementations must only push, never read or
-/// clear it).
+/// An infallible task body: executed on a worker thread for each
+/// dispatched node. Children whose input changed are appended to `fired`
+/// (which the caller provides and recycles — implementations must only
+/// push, never read or clear it).
 pub type TaskFn = Arc<dyn Fn(NodeId, &mut Vec<NodeId>) + Send + Sync>;
+
+/// A fallible task body: like [`TaskFn`] but reporting whether the
+/// execution succeeded. On [`TaskOutcome::Retryable`] the worker discards
+/// anything the attempt pushed into `fired` and re-runs per the
+/// [`RetryPolicy`]; only a [`TaskOutcome::Done`] execution counts.
+pub type TryTaskFn = Arc<dyn Fn(NodeId, &mut Vec<NodeId>) -> TaskOutcome + Send + Sync>;
+
+/// What one task execution attempt reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The attempt succeeded; its fired children are final.
+    Done,
+    /// Transient failure: discard this attempt's fired children and try
+    /// again (subject to the executor's [`RetryPolicy`]).
+    Retryable,
+}
+
+/// Adapt an infallible [`TaskFn`] to the fallible interface.
+pub fn infallible(task: TaskFn) -> TryTaskFn {
+    Arc::new(move |v, fired: &mut Vec<NodeId>| {
+        task(v, fired);
+        TaskOutcome::Done
+    })
+}
+
+/// Bounded-retry policy for [`TaskOutcome::Retryable`] attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per task including the first (≥ 1). With the
+    /// default of 1, a retryable failure fails the run immediately.
+    pub max_attempts: u32,
+    /// Delay before the first re-attempt; doubles per subsequent attempt.
+    pub backoff: Duration,
+    /// Upper bound on the per-attempt backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Allow `n` retries after the initial attempt, with a small
+    /// exponential backoff.
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n + 1,
+            backoff: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+
+    /// Backoff before re-attempt number `retry_index` (0-based).
+    fn delay(&self, retry_index: u32) -> Duration {
+        if self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << retry_index.min(16);
+        (self.backoff * factor).min(self.backoff_cap)
+    }
+}
+
+/// Cooperative cancellation handle: cloneable, settable from any thread.
+/// The coordinator checks it between wavefronts, so cancellation aborts
+/// the update at a batch boundary with all in-flight work committed.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation of any run observing this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Re-arm the token for the next run.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+/// Diagnostic snapshot attached to [`ExecError::Timeout`]: what the
+/// pipeline looked like when the watchdog fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecSnapshot {
+    /// Scheduler driving the wedged update.
+    pub scheduler: String,
+    /// Dispatched-but-uncompleted nodes, sorted.
+    pub in_flight: Vec<NodeId>,
+    /// Chunks sitting in the work queue, not yet picked up by a worker.
+    pub queued_chunks: usize,
+    /// Tasks committed before the deadline fired.
+    pub executed: usize,
+    /// Wall-clock milliseconds since the update started.
+    pub elapsed_ms: u64,
+}
+
+impl fmt::Display for ExecSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executed, {} in flight ({}), {} queued chunks after {} ms",
+            self.executed,
+            self.in_flight.len(),
+            fmt_nodes(&self.in_flight),
+            self.queued_chunks,
+            self.elapsed_ms
+        )
+    }
+}
+
+/// At most eight node ids, then an ellipsis — snapshots must stay
+/// one-line printable even for huge in-flight sets.
+fn fmt_nodes(nodes: &[NodeId]) -> String {
+    let mut s = String::new();
+    for (i, v) in nodes.iter().take(8).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&v.to_string());
+    }
+    if nodes.len() > 8 {
+        s.push_str(", …");
+    }
+    s
+}
 
 /// Why a run could not complete.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +231,17 @@ pub enum ExecError {
     Stall { scheduler: String },
     /// A task fired a child it has no edge to in `G`.
     NonEdge { from: NodeId, to: NodeId },
+    /// A task body panicked; the panic was isolated to its worker and the
+    /// pipeline drained cleanly.
+    TaskPanicked { node: NodeId, message: String },
+    /// A task kept reporting [`TaskOutcome::Retryable`] until the
+    /// [`RetryPolicy`] was exhausted.
+    TaskFailed { node: NodeId, attempts: u32 },
+    /// The watchdog deadline elapsed before the update quiesced.
+    Timeout { snapshot: Box<ExecSnapshot> },
+    /// A [`CancelToken`] aborted the update; `executed` tasks committed
+    /// before the abort.
+    Cancelled { executed: usize },
 }
 
 impl fmt::Display for ExecError {
@@ -61,11 +253,128 @@ impl fmt::Display for ExecError {
             ExecError::NonEdge { from, to } => {
                 write!(f, "task {from} fired non-edge to {to}")
             }
+            ExecError::TaskPanicked { node, message } => {
+                write!(f, "task {node} panicked: {message}")
+            }
+            ExecError::TaskFailed { node, attempts } => {
+                write!(f, "task {node} failed after {attempts} attempts")
+            }
+            ExecError::Timeout { snapshot } => {
+                write!(f, "watchdog deadline elapsed: {snapshot}")
+            }
+            ExecError::Cancelled { executed } => {
+                write!(f, "update cancelled after {executed} executed tasks")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// A mid-stream failure from [`Executor::run_stream`]: the error plus the
+/// accounting for the updates that completed before it. Updates after the
+/// failing one are not attempted.
+#[derive(Clone, Debug)]
+pub struct StreamError {
+    /// What stopped the stream (failure of update `completed.updates`).
+    pub error: ExecError,
+    /// Report covering only the fully completed updates.
+    pub completed: StreamReport,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "update {} failed ({} updates completed): {}",
+            self.completed.updates, self.completed.updates, self.error
+        )
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Per-update journal of committed executions: which nodes ran
+/// successfully and what they fired. After a failed or cancelled update,
+/// pass the same journal back to [`Executor::run_fallible`] to *resume*:
+/// journaled nodes are completed from the record instead of re-executed,
+/// so the run-once invariant holds across the failure. A successful run
+/// commits the update and clears the journal.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateJournal {
+    nodes: Vec<NodeId>,
+    /// All fired sets back-to-back in commit order; `ends[i]` is the
+    /// arena offset one past node `i`'s slice. A flat arena keeps
+    /// journaling off the allocator on the hot completion path.
+    fired_arena: Vec<NodeId>,
+    ends: Vec<usize>,
+    /// Commit position per node id (`usize::MAX` = not journaled), grown
+    /// on demand — an array write per commit instead of a hash insert.
+    index: Vec<usize>,
+}
+
+const NOT_JOURNALED: usize = usize::MAX;
+
+impl UpdateJournal {
+    pub fn new() -> UpdateJournal {
+        UpdateJournal::default()
+    }
+
+    /// Committed executions recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forget the recorded update (called automatically on success).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.fired_arena.clear();
+        self.ends.clear();
+        self.index.fill(NOT_JOURNALED);
+    }
+
+    /// Was `v` committed by a previous attempt of this update?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.slot(v) != NOT_JOURNALED
+    }
+
+    /// The fired children recorded for `v`, if journaled.
+    pub fn fired_of(&self, v: NodeId) -> Option<&[NodeId]> {
+        let i = self.slot(v);
+        (i != NOT_JOURNALED).then(|| {
+            let start = if i == 0 { 0 } else { self.ends[i - 1] };
+            &self.fired_arena[start..self.ends[i]]
+        })
+    }
+
+    /// Committed nodes in commit order.
+    pub fn executed(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn slot(&self, v: NodeId) -> usize {
+        self.index.get(v.index()).copied().unwrap_or(NOT_JOURNALED)
+    }
+
+    fn record(&mut self, v: NodeId, fired: &[NodeId]) {
+        debug_assert!(!self.contains(v), "journaled {v} twice");
+        if self.index.len() <= v.index() {
+            self.index.resize(v.index() + 1, NOT_JOURNALED);
+        }
+        self.index[v.index()] = self.nodes.len();
+        self.nodes.push(v);
+        self.fired_arena.extend_from_slice(fired);
+        self.ends.push(self.fired_arena.len());
+    }
+}
 
 /// Tuning for the dispatch pipeline.
 #[derive(Clone, Debug)]
@@ -82,6 +391,23 @@ pub struct ExecConfig {
     /// fresh allocation per completion — the pre-batching executor,
     /// preserved as the A/B baseline for the `exec_throughput` bench.
     pub per_task: bool,
+    /// Retry policy for [`TaskOutcome::Retryable`] attempts.
+    pub retry: RetryPolicy,
+    /// Per-update watchdog deadline: a run not quiescent within this
+    /// budget returns [`ExecError::Timeout`] with a diagnostic snapshot
+    /// instead of waiting forever. `None` (default) disables the
+    /// watchdog and its in-flight bookkeeping.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: when the token fires, the in-flight
+    /// update aborts with [`ExecError::Cancelled`] at the next wavefront
+    /// boundary.
+    pub cancel: Option<CancelToken>,
+    /// How long shutdown waits for worker threads before leaking them
+    /// (a worker wedged in a hung task body must not block the caller).
+    pub join_grace: Duration,
+    /// How long the error path waits for in-flight completions while
+    /// draining the pipeline before giving up on stragglers.
+    pub drain_grace: Duration,
 }
 
 impl ExecConfig {
@@ -93,6 +419,11 @@ impl ExecConfig {
             chunk_max: 32,
             queue_cap: 64,
             per_task: false,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            cancel: None,
+            join_grace: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -100,8 +431,12 @@ impl ExecConfig {
 /// Result of one [`Executor::run`].
 #[derive(Clone, Debug)]
 pub struct ExecReport {
-    /// Number of tasks executed (= activated tasks).
+    /// Number of tasks executed this run (= newly activated tasks; does
+    /// not include journal replays).
     pub executed: usize,
+    /// Completions replayed from an [`UpdateJournal`] instead of
+    /// executed (0 unless resuming a failed update).
+    pub replayed: usize,
     /// Wall-clock duration of the run.
     pub wall_seconds: f64,
     /// Nodes in completion order (nondeterministic across runs).
@@ -138,10 +473,45 @@ enum WorkMsg {
     Shutdown,
 }
 
-/// The coordinator's ends of the four pipes.
+/// How one task execution failed on a worker.
+#[derive(Clone, Debug)]
+enum TaskError {
+    Panicked(String),
+    Exhausted { attempts: u32 },
+}
+
+impl TaskError {
+    fn into_exec_error(self, node: NodeId) -> ExecError {
+        match self {
+            TaskError::Panicked(message) => ExecError::TaskPanicked { node, message },
+            TaskError::Exhausted { attempts } => ExecError::TaskFailed { node, attempts },
+        }
+    }
+}
+
+/// What workers send back: a clean batch, or the completions committed
+/// before a failing task plus the failure itself. Tasks after the failing
+/// one in the chunk are abandoned (the error path accounts for them when
+/// it steals the remains of the pipeline).
+#[derive(Debug)]
+enum DoneMsg {
+    Batch(CompletionBatch),
+    Failed {
+        batch: CompletionBatch,
+        node: NodeId,
+        /// Tasks of the chunk after the failing node that were never run.
+        abandoned: usize,
+        error: TaskError,
+    },
+}
+
+/// The coordinator's ends of the pipes.
 struct Pipes {
     work_tx: channel::Sender<WorkMsg>,
-    done_rx: channel::Receiver<CompletionBatch>,
+    /// Coordinator-side receiver clone of the work queue: the error path
+    /// *steals* unstarted chunks back so the drain can account for them.
+    work_steal: channel::Receiver<WorkMsg>,
+    done_rx: channel::Receiver<DoneMsg>,
     /// Cleared completion batches returning to workers.
     batch_back_tx: channel::Sender<CompletionBatch>,
     /// Cleared chunk vectors returning from workers.
@@ -165,6 +535,7 @@ impl Executor {
     pub fn with_config(cfg: ExecConfig) -> Executor {
         assert!(cfg.workers >= 1);
         assert!(cfg.batch_max >= 1 && cfg.chunk_max >= 1 && cfg.queue_cap >= 1);
+        assert!(cfg.retry.max_attempts >= 1);
         Executor { cfg }
     }
 
@@ -177,13 +548,37 @@ impl Executor {
         initial: &[NodeId],
         task: TaskFn,
     ) -> Result<ExecReport, ExecError> {
+        self.run_fallible(scheduler, dag, initial, infallible(task), None)
+    }
+
+    /// [`Executor::run`] with a fallible task body and optional
+    /// crash-consistent journaling.
+    ///
+    /// With `journal`:
+    /// * every committed execution is recorded before the run returns —
+    ///   including completions drained on the error path;
+    /// * if the journal already has entries (a previous attempt of this
+    ///   update failed), those nodes are *replayed* — completed with their
+    ///   recorded fired sets, never re-executed;
+    /// * a successful run clears the journal (update committed).
+    ///
+    /// Resume only with the same `initial` set and a deterministic task
+    /// body; the journal describes *this* update, not any update.
+    pub fn run_fallible(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        initial: &[NodeId],
+        task: TryTaskFn,
+        mut journal: Option<&mut UpdateJournal>,
+    ) -> Result<ExecReport, ExecError> {
         if self.cfg.per_task {
-            return self.run_per_task(scheduler, dag, initial, task);
+            return self.run_per_task(scheduler, dag, initial, task, journal);
         }
         let t0 = Instant::now();
         let mut completion_order = Vec::new();
         let mut wait_ns = 0u64;
-        let result = self.with_pool(dag, &task, |pipes, ready| {
+        let result = self.with_pool(&task, |pipes, ready| {
             drive_update(
                 scheduler,
                 dag,
@@ -193,15 +588,14 @@ impl Executor {
                 ready,
                 Some(&mut completion_order),
                 &mut wait_ns,
+                journal.as_deref_mut(),
             )
         });
-        let executed = result?;
-        Ok(finish_report(
-            executed,
-            completion_order,
-            t0,
-            wait_ns,
-        ))
+        let stats = result?;
+        if let Some(j) = journal {
+            j.clear();
+        }
+        Ok(finish_report(stats, completion_order, t0, wait_ns))
     }
 
     /// [`Executor::run`], panicking on error — the pre-existing contract,
@@ -223,22 +617,25 @@ impl Executor {
     /// scheduler is `start`ed per update (O(active) with the stamped
     /// schedulers) and the pool, channels and buffers persist across
     /// updates, so per-update dispatch cost is independent of both V and
-    /// the stream position.
+    /// the stream position. A failing update stops the stream; the
+    /// [`StreamError`] reports which update failed and the accounting for
+    /// those that completed.
     pub fn run_stream(
         &self,
         scheduler: &mut dyn Scheduler,
         dag: &Arc<Dag>,
         updates: &[Vec<NodeId>],
         task: TaskFn,
-    ) -> Result<StreamReport, ExecError> {
+    ) -> Result<StreamReport, StreamError> {
+        let task = infallible(task);
         let t0 = Instant::now();
         let mut update_seconds = Vec::with_capacity(updates.len());
         let mut executed = 0usize;
         let mut wait_ns = 0u64;
-        let result = self.with_pool(dag, &task, |pipes, ready| {
+        let result = self.with_pool(&task, |pipes, ready| {
             for initial in updates {
                 let u0 = Instant::now();
-                executed += drive_update(
+                let stats = drive_update(
                     scheduler,
                     dag,
                     initial,
@@ -247,101 +644,144 @@ impl Executor {
                     ready,
                     None,
                     &mut wait_ns,
+                    None,
                 )?;
+                executed += stats.executed;
                 update_seconds.push(u0.elapsed().as_secs_f64());
             }
-            Ok(0)
+            Ok(DriveStats::default())
         });
-        result?;
         let wall = t0.elapsed();
         record_occupancy(wall.as_nanos() as u64, wait_ns);
-        Ok(StreamReport {
-            updates: updates.len(),
+        let report = StreamReport {
+            updates: update_seconds.len(),
             executed,
             wall_seconds: wall.as_secs_f64(),
             update_seconds,
             coord_busy_fraction: busy_fraction(wall.as_nanos() as u64, wait_ns),
-        })
+        };
+        match result {
+            Ok(_) => Ok(report),
+            Err(error) => Err(StreamError {
+                error,
+                completed: report,
+            }),
+        }
     }
 
     /// Spawn the worker pool, run `body` on the coordinator side, then
-    /// shut the pool down (explicit [`WorkMsg::Shutdown`] per worker; the
-    /// scope join guarantees no worker outlives the call even on the
-    /// error path, where dropped channels double as the release).
+    /// shut the pool down: one explicit [`WorkMsg::Shutdown`] per worker
+    /// (non-blocking, so a wedged pipeline cannot block shutdown), the
+    /// work sender dropped as the catch-all release, and a bounded join —
+    /// workers that outstay [`ExecConfig::join_grace`] (hung task bodies)
+    /// are leaked and counted rather than awaited forever. If `body`
+    /// itself panics, the unwinding drop of the channels releases every
+    /// parked worker the same way.
     fn with_pool<R>(
         &self,
-        dag: &Arc<Dag>,
-        task: &TaskFn,
+        task: &TryTaskFn,
         body: impl FnOnce(&Pipes, &mut Vec<NodeId>) -> Result<R, ExecError>,
     ) -> Result<R, ExecError> {
         let (work_tx, work_rx) = channel::bounded::<WorkMsg>(self.cfg.queue_cap);
-        let (done_tx, done_rx) = channel::unbounded::<CompletionBatch>();
+        let (done_tx, done_rx) = channel::unbounded::<DoneMsg>();
         let (batch_back_tx, batch_back_rx) = channel::unbounded::<CompletionBatch>();
         let (chunk_back_tx, chunk_back_rx) = channel::unbounded::<Vec<NodeId>>();
-        let _ = dag; // workers don't need the DAG; validation is coordinator-side
 
-        std::thread::scope(|scope| {
-            for i in 0..self.cfg.workers {
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                let batch_back_rx = batch_back_rx.clone();
-                let chunk_back_tx = chunk_back_tx.clone();
-                let task = task.clone();
-                scope.spawn(move || worker_loop(i, work_rx, done_tx, batch_back_rx, chunk_back_tx, task));
-            }
-            drop(work_rx);
-            drop(done_tx);
-            drop(batch_back_rx);
-            drop(chunk_back_tx);
+        let mut handles = Vec::with_capacity(self.cfg.workers);
+        for i in 0..self.cfg.workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let batch_back_rx = batch_back_rx.clone();
+            let chunk_back_tx = chunk_back_tx.clone();
+            let task = task.clone();
+            let retry = self.cfg.retry.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("incr-worker-{i}"))
+                .spawn(move || worker_loop(i, work_rx, done_tx, batch_back_rx, chunk_back_tx, task, retry))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        drop(done_tx);
+        drop(batch_back_rx);
+        drop(chunk_back_tx);
 
-            if trace::enabled() {
-                trace::set_thread_name("executor-coordinator");
+        if trace::enabled() {
+            trace::set_thread_name("executor-coordinator");
+        }
+        let pipes = Pipes {
+            work_tx,
+            work_steal: work_rx,
+            done_rx,
+            batch_back_tx,
+            chunk_back_rx,
+        };
+        let mut ready = Vec::new();
+        let result = body(&pipes, &mut ready);
+        // Orderly shutdown: one message per worker. `try_send` — if the
+        // queue is full the pool is wedged and the dropped sender below
+        // doubles as the release for any worker that drains that far.
+        for _ in 0..self.cfg.workers {
+            let _ = pipes.work_tx.try_send(WorkMsg::Shutdown);
+        }
+        drop(pipes);
+
+        let grace_until = Instant::now() + self.cfg.join_grace;
+        for handle in handles {
+            loop {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    break;
+                }
+                if Instant::now() >= grace_until {
+                    // Wedged in a task body: leak the thread, keep going.
+                    incr_obs::registry().counter("exec.workers_leaked").inc();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
-            let pipes = Pipes {
-                work_tx,
-                done_rx,
-                batch_back_tx,
-                chunk_back_rx,
-            };
-            let mut ready = Vec::new();
-            let result = body(&pipes, &mut ready);
-            // Orderly shutdown: one message per worker. Workers are still
-            // draining the queue (even on the error path), so the bounded
-            // send always completes.
-            for _ in 0..self.cfg.workers {
-                let _ = pipes.work_tx.send(WorkMsg::Shutdown);
-            }
-            result
-        })
+        }
+        result
     }
 
     /// The pre-batching dispatch loop: one node per message, unbounded
     /// channels, a fresh `Vec` allocated per completion, one
     /// `pop_ready`/`on_completed` virtual call per task. Kept bit-for-bit
     /// equivalent in behavior so `exec_throughput` measures the real
-    /// before/after of the batched pipeline.
+    /// before/after of the batched pipeline. Shares the panic-isolation /
+    /// retry / watchdog / cancellation machinery, but not journaling
+    /// (resume forces the batched path).
     fn run_per_task(
         &self,
         scheduler: &mut dyn Scheduler,
         dag: &Arc<Dag>,
         initial: &[NodeId],
-        task: TaskFn,
+        task: TryTaskFn,
+        journal: Option<&mut UpdateJournal>,
     ) -> Result<ExecReport, ExecError> {
+        assert!(
+            journal.is_none(),
+            "journaled runs require the batched pipeline (per_task = false)"
+        );
         let t0 = Instant::now();
+        let deadline = self.cfg.deadline.map(|d| t0 + d);
         let (work_tx, work_rx) = channel::unbounded::<NodeId>();
-        let (done_tx, done_rx) = channel::unbounded::<(NodeId, Vec<NodeId>)>();
+        let (done_tx, done_rx) =
+            channel::unbounded::<(NodeId, Result<Vec<NodeId>, TaskError>)>();
 
         scheduler.start(initial);
         let mut executed = 0usize;
         let mut completion_order = Vec::new();
         let mut wait_ns = 0u64;
 
-        let result = std::thread::scope(|scope| {
-            for i in 0..self.cfg.workers {
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                let task = task.clone();
-                scope.spawn(move || {
+        let mut handles = Vec::with_capacity(self.cfg.workers);
+        for i in 0..self.cfg.workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let task = task.clone();
+            let retry = self.cfg.retry.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("incr-worker-{i}"))
+                .spawn(move || {
                     if trace::enabled() {
                         trace::set_thread_name(&format!("worker-{i}"));
                     }
@@ -350,66 +790,181 @@ impl Executor {
                         let Ok(node) = work_rx.recv() else { break };
                         drop(idle);
                         let mut fired = Vec::new();
-                        task(node, &mut fired);
-                        if done_tx.send((node, fired)).is_err() {
+                        let result = match run_one(&task, node, &mut fired, &retry) {
+                            Ok(()) => Ok(fired),
+                            Err(e) => Err(e),
+                        };
+                        if done_tx.send((node, result)).is_err() {
                             break;
                         }
                     }
+                })
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        drop(work_rx);
+        drop(done_tx);
+
+        if trace::enabled() {
+            trace::set_thread_name("executor-coordinator");
+        }
+        let mut in_flight = 0usize;
+        let result = 'drive: loop {
+            if let Some(tok) = &self.cfg.cancel {
+                if tok.is_cancelled() {
+                    break Err(ExecError::Cancelled { executed });
+                }
+            }
+            while let Some(t) = scheduler.pop_ready() {
+                if work_tx.send(t).is_err() {
+                    break; // pool gone; surfaced below as a stall
+                }
+                in_flight += 1;
+            }
+            if in_flight == 0 {
+                if scheduler.is_quiescent() {
+                    break Ok(());
+                }
+                break Err(ExecError::Stall {
+                    scheduler: scheduler.name().to_string(),
                 });
             }
-            drop(work_rx);
-            drop(done_tx);
-
-            if trace::enabled() {
-                trace::set_thread_name("executor-coordinator");
-            }
-            let mut in_flight = 0usize;
-            let r = 'drive: loop {
-                while let Some(t) = scheduler.pop_ready() {
-                    work_tx.send(t).expect("workers alive");
-                    in_flight += 1;
-                }
-                if in_flight == 0 {
-                    if scheduler.is_quiescent() {
-                        break Ok(());
-                    }
-                    break Err(ExecError::Stall {
-                        scheduler: scheduler.name().to_string(),
-                    });
-                }
-                let wait = trace::span("exec", "coordinator.wait_completion");
-                let w0 = Instant::now();
-                let (node, fired) = done_rx.recv().expect("workers alive");
-                wait_ns += w0.elapsed().as_nanos() as u64;
-                drop(wait);
-                for &c in &fired {
-                    if !dag.has_edge(node, c) {
-                        break 'drive Err(ExecError::NonEdge { from: node, to: c });
+            let wait = trace::span("exec", "coordinator.wait_completion");
+            let w0 = Instant::now();
+            let received = match deadline {
+                None => pipes_recv_per_task(&done_rx),
+                Some(dl) => {
+                    let budget = dl.saturating_duration_since(Instant::now());
+                    match done_rx.recv_timeout(budget) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => None,
                     }
                 }
-                in_flight -= 1;
-                executed += 1;
-                completion_order.push(node);
-                scheduler.on_completed(node, &fired);
             };
-            // Disconnect releases parked workers so the scope can join.
-            drop(work_tx);
-            r
-        });
+            wait_ns += w0.elapsed().as_nanos() as u64;
+            drop(wait);
+            let Some((node, outcome)) = received else {
+                break Err(ExecError::Timeout {
+                    snapshot: Box::new(ExecSnapshot {
+                        scheduler: scheduler.name().to_string(),
+                        in_flight: Vec::new(),
+                        queued_chunks: 0,
+                        executed,
+                        elapsed_ms: t0.elapsed().as_millis() as u64,
+                    }),
+                });
+            };
+            in_flight -= 1;
+            let fired = match outcome {
+                Ok(fired) => fired,
+                Err(task_err) => break Err(task_err.into_exec_error(node)),
+            };
+            for &c in &fired {
+                if !dag.has_edge(node, c) {
+                    break 'drive Err(ExecError::NonEdge { from: node, to: c });
+                }
+            }
+            executed += 1;
+            completion_order.push(node);
+            scheduler.on_completed(node, &fired);
+        };
+        // Disconnect releases parked workers; bounded join mirrors the
+        // batched pipeline's shutdown.
+        drop(work_tx);
+        let grace_until = Instant::now() + self.cfg.join_grace;
+        for handle in handles {
+            loop {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    break;
+                }
+                if Instant::now() >= grace_until {
+                    incr_obs::registry().counter("exec.workers_leaked").inc();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
         result?;
-        Ok(finish_report(executed, completion_order, t0, wait_ns))
+        Ok(finish_report(
+            DriveStats {
+                executed,
+                replayed: 0,
+            },
+            completion_order,
+            t0,
+            wait_ns,
+        ))
+    }
+}
+
+fn pipes_recv_per_task(
+    done_rx: &channel::Receiver<(NodeId, Result<Vec<NodeId>, TaskError>)>,
+) -> Option<(NodeId, Result<Vec<NodeId>, TaskError>)> {
+    done_rx.recv().ok()
+}
+
+/// Run one task to completion, retrying `Retryable` attempts per the
+/// policy with exponential backoff, isolating panics. `fired` is
+/// truncated back to its pre-attempt length on every failure, so only a
+/// successful attempt's children survive.
+fn run_one(
+    task: &TryTaskFn,
+    node: NodeId,
+    fired: &mut Vec<NodeId>,
+    retry: &RetryPolicy,
+) -> Result<(), TaskError> {
+    let mark = fired.len();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| task(node, fired))) {
+            Ok(TaskOutcome::Done) => return Ok(()),
+            Ok(TaskOutcome::Retryable) => {
+                fired.truncate(mark);
+                if attempts >= retry.max_attempts {
+                    incr_obs::registry().counter("exec.task_failures").inc();
+                    return Err(TaskError::Exhausted { attempts });
+                }
+                incr_obs::registry().counter("exec.retries").inc();
+                let delay = retry.delay(attempts - 1);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            Err(payload) => {
+                fired.truncate(mark);
+                incr_obs::registry().counter("exec.task_failures").inc();
+                return Err(TaskError::Panicked(panic_message(payload)));
+            }
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` / `String`, else opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Worker side: park on `recv`, execute chunks into a recycled completion
-/// batch, flush the batch whole.
+/// batch (panic-isolated, retried), flush the batch whole. On a task
+/// failure, the completions committed so far travel back *with* the
+/// failure so the coordinator can account for every execution.
 fn worker_loop(
     i: usize,
     work_rx: channel::Receiver<WorkMsg>,
-    done_tx: channel::Sender<CompletionBatch>,
+    done_tx: channel::Sender<DoneMsg>,
     batch_back_rx: channel::Receiver<CompletionBatch>,
     chunk_back_tx: channel::Sender<Vec<NodeId>>,
-    task: TaskFn,
+    task: TryTaskFn,
+    retry: RetryPolicy,
 ) {
     if trace::enabled() {
         trace::set_thread_name(&format!("worker-{i}"));
@@ -430,21 +985,137 @@ fn worker_loop(
                 vec![("tasks", chunk.len().into())],
             )
         });
-        for &node in &chunk {
-            task(node, batch.fired_buf());
-            batch.commit(node);
+        let mut failure: Option<(NodeId, usize, TaskError)> = None;
+        for (pos, &node) in chunk.iter().enumerate() {
+            match run_one(&task, node, batch.fired_buf(), &retry) {
+                Ok(()) => batch.commit(node),
+                Err(err) => {
+                    failure = Some((node, chunk.len() - pos - 1, err));
+                    break;
+                }
+            }
         }
         drop(span);
         chunk.clear();
         let _ = chunk_back_tx.send(chunk);
-        if done_tx.send(batch).is_err() {
+        let msg = match failure {
+            None => DoneMsg::Batch(batch),
+            Some((node, abandoned, error)) => DoneMsg::Failed {
+                batch,
+                node,
+                abandoned,
+                error,
+            },
+        };
+        if done_tx.send(msg).is_err() {
             break;
         }
     }
 }
 
+/// What one update actually did.
+#[derive(Clone, Copy, Debug, Default)]
+struct DriveStats {
+    executed: usize,
+    replayed: usize,
+}
+
+/// Mutable coordinator state shared between the drive loop and the
+/// error-path drain.
+struct DriveState<'a> {
+    in_flight: usize,
+    /// Per-node in-flight flags, allocated only when the watchdog is
+    /// armed (snapshot quality): an array write per dispatch/completion
+    /// instead of hash-set churn on the hot path.
+    in_flight_flags: Option<Vec<bool>>,
+    stats: DriveStats,
+    order: Option<&'a mut Vec<NodeId>>,
+    journal: Option<&'a mut UpdateJournal>,
+}
+
+impl DriveState<'_> {
+    /// Commit one worker batch: validate fired edges (unless draining),
+    /// record order/journal, deliver completions to the scheduler.
+    fn commit_batch(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Dag,
+        batch: &CompletionBatch,
+        validate: bool,
+    ) -> Result<(), ExecError> {
+        // Flight accounting happens even for an invalid batch — the
+        // error-path drain must still observe in_flight reach zero.
+        self.in_flight -= batch.len();
+        if let Some(flags) = self.in_flight_flags.as_mut() {
+            for (node, _) in batch.iter() {
+                flags[node.index()] = false;
+            }
+        }
+        if validate {
+            for (node, fired) in batch.iter() {
+                for &c in fired {
+                    if !dag.has_edge(node, c) {
+                        return Err(ExecError::NonEdge { from: node, to: c });
+                    }
+                }
+            }
+        }
+        self.stats.executed += batch.len();
+        if let Some(order) = self.order.as_deref_mut() {
+            order.extend(batch.iter().map(|(node, _)| node));
+        }
+        if let Some(j) = self.journal.as_deref_mut() {
+            for (node, fired) in batch.iter() {
+                j.record(node, fired);
+            }
+        }
+        scheduler.complete_batch(batch);
+        Ok(())
+    }
+
+    /// Account for tasks that left flight without executing (stolen
+    /// chunks, the failing task itself, abandoned chunk tails).
+    fn unexecuted(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        for node in nodes {
+            self.in_flight -= 1;
+            if let Some(flags) = self.in_flight_flags.as_mut() {
+                flags[node.index()] = false;
+            }
+        }
+    }
+
+    fn snapshot(
+        &self,
+        scheduler: &dyn Scheduler,
+        pipes: &Pipes,
+        t0: Instant,
+    ) -> Box<ExecSnapshot> {
+        // O(V) scan, but only ever run on the (rare) timeout path.
+        let in_flight: Vec<NodeId> = self
+            .in_flight_flags
+            .as_ref()
+            .map(|flags| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &f)| f)
+                    .map(|(i, _)| NodeId(i as u32))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Box::new(ExecSnapshot {
+            scheduler: scheduler.name().to_string(),
+            in_flight,
+            queued_chunks: pipes.work_steal.len(),
+            executed: self.stats.executed,
+            elapsed_ms: t0.elapsed().as_millis() as u64,
+        })
+    }
+}
+
 /// One update to quiescence on the batched pipeline. Returns tasks
-/// executed; accumulates coordinator blocked-time into `wait_ns`.
+/// executed/replayed; accumulates coordinator blocked-time into
+/// `wait_ns`.
 #[allow(clippy::too_many_arguments)]
 fn drive_update(
     scheduler: &mut dyn Scheduler,
@@ -453,28 +1124,70 @@ fn drive_update(
     cfg: &ExecConfig,
     pipes: &Pipes,
     ready: &mut Vec<NodeId>,
-    mut order: Option<&mut Vec<NodeId>>,
+    order: Option<&mut Vec<NodeId>>,
     wait_ns: &mut u64,
-) -> Result<usize, ExecError> {
+    journal: Option<&mut UpdateJournal>,
+) -> Result<DriveStats, ExecError> {
     scheduler.start(initial);
-    let mut in_flight = 0usize;
-    let mut executed = 0usize;
+    let t0 = Instant::now();
+    let deadline = cfg.deadline.map(|d| t0 + d);
+    let resuming = journal.as_deref().map(|j| !j.is_empty()).unwrap_or(false);
+    let mut st = DriveState {
+        in_flight: 0,
+        in_flight_flags: deadline.is_some().then(|| vec![false; dag.node_count()]),
+        stats: DriveStats::default(),
+        order,
+        journal,
+    };
+    let mut replay_batch = CompletionBatch::new();
     loop {
+        if let Some(tok) = &cfg.cancel {
+            if tok.is_cancelled() {
+                let executed = st.stats.executed;
+                drain_on_error(scheduler, dag, cfg, pipes, &mut st);
+                return Err(ExecError::Cancelled { executed });
+            }
+        }
         // Dispatch every currently-safe task, one wavefront per pop_batch.
         loop {
             ready.clear();
             if scheduler.pop_batch(ready, cfg.batch_max) == 0 {
                 break;
             }
-            in_flight += ready.len();
-            send_chunks(ready, cfg, pipes);
+            if resuming {
+                // Completions committed by the failed attempt replay from
+                // the journal instead of re-executing.
+                let journal = st.journal.as_deref().expect("resuming implies journal");
+                ready.retain(|&v| match journal.fired_of(v) {
+                    Some(fired) => {
+                        replay_batch.push(v, fired);
+                        false
+                    }
+                    None => true,
+                });
+            }
+            st.in_flight += ready.len();
+            if let Some(flags) = st.in_flight_flags.as_mut() {
+                for &v in ready.iter() {
+                    flags[v.index()] = true;
+                }
+            }
+            if !send_chunks(ready, cfg, pipes, deadline) {
+                let snapshot = st.snapshot(scheduler, pipes, t0);
+                return Err(ExecError::Timeout { snapshot });
+            }
+            if !replay_batch.is_empty() {
+                st.stats.replayed += replay_batch.len();
+                scheduler.complete_batch(&replay_batch);
+                replay_batch.clear();
+            }
         }
         if trace::enabled() {
-            trace::counter("exec", "exec.in_flight", in_flight as f64);
+            trace::counter("exec", "exec.in_flight", st.in_flight as f64);
         }
-        if in_flight == 0 {
+        if st.in_flight == 0 {
             if scheduler.is_quiescent() {
-                return Ok(executed);
+                return Ok(st.stats);
             }
             return Err(ExecError::Stall {
                 scheduler: scheduler.name().to_string(),
@@ -483,28 +1196,102 @@ fn drive_update(
         // Block for one completion batch, then drain whatever else landed.
         let wait = trace::span("exec", "coordinator.wait_completion");
         let w0 = Instant::now();
-        let mut batch = pipes.done_rx.recv().expect("workers alive");
+        let received = match deadline {
+            None => pipes.done_rx.recv().ok(),
+            Some(dl) => {
+                let budget = dl.saturating_duration_since(Instant::now());
+                pipes.done_rx.recv_timeout(budget).ok()
+            }
+        };
         *wait_ns += w0.elapsed().as_nanos() as u64;
         drop(wait);
+        let Some(mut msg) = received else {
+            let snapshot = st.snapshot(scheduler, pipes, t0);
+            return Err(ExecError::Timeout { snapshot });
+        };
         loop {
-            for (node, fired) in batch.iter() {
-                for &c in fired {
-                    if !dag.has_edge(node, c) {
-                        return Err(ExecError::NonEdge { from: node, to: c });
-                    }
+            let batch = match msg {
+                DoneMsg::Batch(batch) => batch,
+                DoneMsg::Failed {
+                    batch,
+                    node,
+                    abandoned,
+                    error,
+                } => {
+                    // Commit what really ran, account for what did not,
+                    // then drain the rest of the pipeline and surface the
+                    // failure.
+                    let commit = st.commit_batch(scheduler, dag, &batch, true);
+                    st.unexecuted([node]);
+                    st.in_flight -= abandoned;
+                    drain_on_error(scheduler, dag, cfg, pipes, &mut st);
+                    commit?;
+                    return Err(error.into_exec_error(node));
                 }
+            };
+            if let Err(e) = st.commit_batch(scheduler, dag, &batch, true) {
+                drain_on_error(scheduler, dag, cfg, pipes, &mut st);
+                return Err(e);
             }
-            in_flight -= batch.len();
-            executed += batch.len();
-            if let Some(order) = order.as_deref_mut() {
-                order.extend(batch.iter().map(|(node, _)| node));
-            }
-            scheduler.complete_batch(&batch);
-            batch.clear();
-            let _ = pipes.batch_back_tx.send(batch);
+            let mut empty = batch;
+            empty.clear();
+            let _ = pipes.batch_back_tx.send(empty);
             match pipes.done_rx.try_recv() {
-                Some(next) => batch = next,
+                Some(next) => msg = next,
                 None => break,
+            }
+        }
+    }
+}
+
+/// The error path's clean drain: steal unstarted chunks back out of the
+/// work queue, then wait (bounded) for every in-flight completion and
+/// commit it — to the journal too — so no successful execution is lost
+/// and a resumed update re-runs nothing that already ran. First error
+/// wins: failures seen while draining are dropped (their completions are
+/// still committed).
+fn drain_on_error(
+    scheduler: &mut dyn Scheduler,
+    dag: &Dag,
+    cfg: &ExecConfig,
+    pipes: &Pipes,
+    st: &mut DriveState<'_>,
+) {
+    let drain_until = Instant::now() + cfg.drain_grace;
+    loop {
+        // Steal chunks no worker has picked up yet.
+        while let Some(msg) = pipes.work_steal.try_recv() {
+            if let WorkMsg::Chunk(chunk) = msg {
+                st.unexecuted(chunk.iter().copied());
+            }
+        }
+        if st.in_flight == 0 {
+            return;
+        }
+        let budget = drain_until.saturating_duration_since(Instant::now());
+        match pipes.done_rx.recv_timeout(budget) {
+            Ok(DoneMsg::Batch(batch)) => {
+                // Skip edge validation: the update is already failing and
+                // these executions are being preserved, not judged.
+                let _ = st.commit_batch(scheduler, dag, &batch, false);
+            }
+            Ok(DoneMsg::Failed {
+                batch,
+                node,
+                abandoned,
+                ..
+            }) => {
+                let _ = st.commit_batch(scheduler, dag, &batch, false);
+                st.unexecuted([node]);
+                st.in_flight -= abandoned;
+            }
+            Err(_) => {
+                // Stragglers (hung task bodies) get leaked with their
+                // workers; give up on their completions.
+                incr_obs::registry()
+                    .counter("exec.drain_abandoned")
+                    .add(st.in_flight as u64);
+                return;
             }
         }
     }
@@ -512,14 +1299,45 @@ fn drive_update(
 
 /// Split `ready` into chunks sized to spread one wavefront across the
 /// pool (capped at `chunk_max`) and send them, recycling chunk vectors
-/// returned by workers. The bounded send is the backpressure point.
-fn send_chunks(ready: &[NodeId], cfg: &ExecConfig, pipes: &Pipes) {
+/// returned by workers. The bounded send is the backpressure point; with
+/// a watchdog armed the send itself is deadline-aware (a pool of wedged
+/// workers must not block the coordinator forever). Returns false on
+/// deadline expiry.
+fn send_chunks(
+    ready: &[NodeId],
+    cfg: &ExecConfig,
+    pipes: &Pipes,
+    deadline: Option<Instant>,
+) -> bool {
     let target = ready.len().div_ceil(cfg.workers).clamp(1, cfg.chunk_max);
     for piece in ready.chunks(target) {
         let mut chunk = pipes.chunk_back_rx.try_recv().unwrap_or_default();
         chunk.extend_from_slice(piece);
-        pipes.work_tx.send(WorkMsg::Chunk(chunk)).expect("workers alive");
+        match deadline {
+            None => {
+                if pipes.work_tx.send(WorkMsg::Chunk(chunk)).is_err() {
+                    return true; // pool gone; surfaced later as stall/timeout
+                }
+            }
+            Some(dl) => {
+                // Same condvar-based blocking as the bare path, but bounded
+                // by the watchdog deadline: no sleep-polling, so an armed
+                // deadline costs nothing while the queue has room.
+                let remaining = dl.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return false;
+                }
+                match pipes.work_tx.send_timeout(WorkMsg::Chunk(chunk), remaining) {
+                    Ok(()) => {}
+                    Err(channel::SendTimeoutError::Timeout(_)) => return false,
+                    Err(channel::SendTimeoutError::Disconnected(_)) => {
+                        return true; // pool gone; surfaced later as stall/timeout
+                    }
+                }
+            }
+        }
     }
+    true
 }
 
 fn busy_fraction(total_ns: u64, wait_ns: u64) -> f64 {
@@ -538,7 +1356,7 @@ fn record_occupancy(total_ns: u64, wait_ns: u64) {
 }
 
 fn finish_report(
-    executed: usize,
+    stats: DriveStats,
     completion_order: Vec<NodeId>,
     t0: Instant,
     wait_ns: u64,
@@ -546,7 +1364,8 @@ fn finish_report(
     let wall = t0.elapsed();
     record_occupancy(wall.as_nanos() as u64, wait_ns);
     ExecReport {
-        executed,
+        executed: stats.executed,
+        replayed: stats.replayed,
         wall_seconds: wall.as_secs_f64(),
         completion_order,
         coord_busy_fraction: busy_fraction(wall.as_nanos() as u64, wait_ns),
@@ -558,7 +1377,7 @@ mod tests {
     use super::*;
     use incr_dag::DagBuilder;
     use incr_sched::{CostMeter, Hybrid, LevelBased, LogicBlox};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
     fn diamond() -> Arc<Dag> {
         let mut b = DagBuilder::new(4);
@@ -580,6 +1399,7 @@ mod tests {
         let mut s = LevelBased::new(dag.clone());
         let report = Executor::new(4).run_or_panic(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
         assert_eq!(report.executed, 4);
+        assert_eq!(report.replayed, 0);
         assert_eq!(report.completion_order.len(), 4);
         assert_eq!(report.completion_order[0], NodeId(0));
         assert_eq!(*report.completion_order.last().unwrap(), NodeId(3));
@@ -759,5 +1579,407 @@ mod tests {
         // 4 (full) + 0 (empty) + 2 (from node 1) + 4 (full again).
         assert_eq!(report.executed, 10);
         assert_eq!(report.update_seconds.len(), 4);
+    }
+
+    // ---- fault tolerance ----
+
+    /// Suppress this test module's injected panics from stderr while
+    /// leaving real panics visible.
+    fn quiet_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains("injected"))
+                    .or_else(|| {
+                        info.payload()
+                            .downcast_ref::<String>()
+                            .map(|s| s.contains("injected"))
+                    })
+                    .unwrap_or(false);
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn task_panic_returns_typed_error_for_both_pipelines() {
+        quiet_panics();
+        let dag = diamond();
+        let f: TaskFn = Arc::new(|v, fired: &mut Vec<NodeId>| {
+            if v == NodeId(1) {
+                panic!("injected failure in node 1");
+            }
+            if v == NodeId(0) {
+                fired.push(NodeId(1));
+                fired.push(NodeId(2));
+            }
+        });
+        for per_task in [false, true] {
+            let mut cfg = ExecConfig::new(2);
+            cfg.per_task = per_task;
+            let mut s = LevelBased::new(dag.clone());
+            let err = Executor::with_config(cfg)
+                .run(&mut s, &dag, &[NodeId(0)], f.clone())
+                .unwrap_err();
+            match err {
+                ExecError::TaskPanicked { node, ref message } => {
+                    assert_eq!(node, NodeId(1), "per_task={per_task}");
+                    assert!(message.contains("injected"), "per_task={per_task}");
+                }
+                other => panic!("expected TaskPanicked, got {other:?} (per_task={per_task})"),
+            }
+            assert!(err.to_string().contains("panicked"));
+        }
+    }
+
+    #[test]
+    fn retryable_task_retries_then_succeeds() {
+        let dag = diamond();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let f: TryTaskFn = {
+            let dag = dag.clone();
+            let attempts = attempts.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                if v == NodeId(2) && attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                    fired.push(NodeId(3)); // must be discarded by the retry
+                    return TaskOutcome::Retryable;
+                }
+                fired.extend_from_slice(dag.children(v));
+                TaskOutcome::Done
+            })
+        };
+        let mut cfg = ExecConfig::new(2);
+        cfg.retry = RetryPolicy::retries(3);
+        let mut s = LevelBased::new(dag.clone());
+        let report = Executor::with_config(cfg)
+            .run_fallible(&mut s, &dag, &[NodeId(0)], f, None)
+            .unwrap();
+        assert_eq!(report.executed, 4);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "two failures + one success");
+    }
+
+    #[test]
+    fn exhausted_retries_return_task_failed() {
+        let dag = diamond();
+        let f: TryTaskFn = Arc::new(|v, fired: &mut Vec<NodeId>| {
+            if v == NodeId(0) {
+                fired.push(NodeId(1));
+                return TaskOutcome::Retryable;
+            }
+            TaskOutcome::Done
+        });
+        for per_task in [false, true] {
+            let mut cfg = ExecConfig::new(2);
+            cfg.per_task = per_task;
+            cfg.retry = RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+            };
+            let mut s = LevelBased::new(dag.clone());
+            let err = Executor::with_config(cfg)
+                .run_fallible(&mut s, &dag, &[NodeId(0)], f.clone(), None)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ExecError::TaskFailed {
+                    node: NodeId(0),
+                    attempts: 3
+                },
+                "per_task={per_task}"
+            );
+            assert!(err.to_string().contains("failed after 3 attempts"));
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_on_hung_task_with_snapshot() {
+        let dag = diamond();
+        let f: TaskFn = Arc::new(|v, _fired: &mut Vec<NodeId>| {
+            if v == NodeId(0) {
+                std::thread::sleep(Duration::from_secs(2));
+            }
+        });
+        let mut cfg = ExecConfig::new(2);
+        cfg.deadline = Some(Duration::from_millis(100));
+        cfg.join_grace = Duration::from_millis(50);
+        cfg.drain_grace = Duration::from_millis(50);
+        let mut s = LevelBased::new(dag.clone());
+        let t0 = Instant::now();
+        let err = Executor::with_config(cfg)
+            .run(&mut s, &dag, &[NodeId(0)], f)
+            .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(2), "must not wait for the hung task");
+        match err {
+            ExecError::Timeout { snapshot } => {
+                assert_eq!(snapshot.in_flight, vec![NodeId(0)]);
+                assert_eq!(snapshot.executed, 0);
+                assert!(snapshot.elapsed_ms >= 100);
+                assert!(err_to_one_line(&ExecError::Timeout { snapshot }));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    fn err_to_one_line(e: &ExecError) -> bool {
+        !e.to_string().contains('\n')
+    }
+
+    #[test]
+    fn cancellation_aborts_between_wavefronts() {
+        // Deep chain so there are many wavefronts to abort between.
+        let n = 64u32;
+        let mut b = DagBuilder::new(n as usize);
+        for i in 1..n {
+            b.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        let dag = Arc::new(b.build().unwrap());
+        let token = CancelToken::new();
+        let f: TaskFn = {
+            let dag = dag.clone();
+            let token = token.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                if v == NodeId(5) {
+                    token.cancel();
+                }
+                fired.extend_from_slice(dag.children(v));
+            })
+        };
+        let mut cfg = ExecConfig::new(2);
+        cfg.cancel = Some(token.clone());
+        let mut s = LevelBased::new(dag.clone());
+        let err = Executor::with_config(cfg)
+            .run(&mut s, &dag, &[NodeId(0)], f.clone())
+            .unwrap_err();
+        match err {
+            ExecError::Cancelled { executed } => {
+                assert!(executed >= 6, "cancel fired at node 5, got {executed}");
+                assert!(executed < n as usize, "cancel must abort before the end");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The same scheduler restarts cleanly after the abort.
+        token.reset();
+        let mut s2 = LevelBased::new(dag.clone());
+        let fresh = Executor::new(2).run_or_panic(&mut s2, &dag, &[NodeId(0)], fire_all(&dag));
+        let resumed = Executor::new(2).run_or_panic(&mut s, &dag, &[NodeId(0)], fire_all(&dag));
+        assert_eq!(resumed.executed, fresh.executed);
+    }
+
+    #[test]
+    fn journal_resume_skips_committed_executions() {
+        quiet_panics();
+        // 0 -> 1 -> 2 -> 3 chain; panic on node 2 the first time only.
+        let mut b = DagBuilder::new(4);
+        for i in 1..4u32 {
+            b.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        let dag = Arc::new(b.build().unwrap());
+        let executions = Arc::new(AtomicU32::new(0));
+        let armed = Arc::new(AtomicBool::new(true));
+        let f: TryTaskFn = {
+            let dag = dag.clone();
+            let executions = executions.clone();
+            let armed = armed.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                if v == NodeId(2) && armed.swap(false, Ordering::SeqCst) {
+                    panic!("injected failure in node 2");
+                }
+                executions.fetch_add(1, Ordering::SeqCst);
+                fired.extend_from_slice(dag.children(v));
+                TaskOutcome::Done
+            })
+        };
+        let mut journal = UpdateJournal::new();
+        let mut s = LevelBased::new(dag.clone());
+        let exec = Executor::new(2);
+        let err = exec
+            .run_fallible(&mut s, &dag, &[NodeId(0)], f.clone(), Some(&mut journal))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::TaskPanicked { node, .. } if node == NodeId(2)));
+        assert_eq!(journal.len(), 2, "nodes 0 and 1 committed");
+        assert!(journal.contains(NodeId(0)) && journal.contains(NodeId(1)));
+
+        let report = exec
+            .run_fallible(&mut s, &dag, &[NodeId(0)], f, Some(&mut journal))
+            .unwrap();
+        assert_eq!(report.replayed, 2, "0 and 1 replayed, not re-executed");
+        assert_eq!(report.executed, 2, "only 2 and 3 execute on resume");
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            4,
+            "each node executed successfully exactly once across both attempts"
+        );
+        assert!(journal.is_empty(), "successful run commits the update");
+    }
+
+    #[test]
+    fn stream_failure_reports_completed_updates() {
+        quiet_panics();
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let calls = Arc::new(AtomicU32::new(0));
+        let f: TaskFn = {
+            let dag = dag.clone();
+            let calls = calls.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                let n = calls.fetch_add(1, Ordering::SeqCst);
+                // Update 0 executes 4 tasks; the 5th call (update 1) panics.
+                if n == 4 {
+                    panic!("injected failure in update 1");
+                }
+                fired.extend_from_slice(dag.children(v));
+            })
+        };
+        let updates: Vec<Vec<NodeId>> =
+            vec![vec![NodeId(0)], vec![NodeId(0)], vec![NodeId(0)]];
+        let err = Executor::new(2)
+            .run_stream(&mut s, &dag, &updates, f)
+            .unwrap_err();
+        assert!(matches!(err.error, ExecError::TaskPanicked { .. }));
+        assert_eq!(err.completed.updates, 1, "only update 0 completed");
+        assert_eq!(err.completed.executed, 4, "update 0's four tasks");
+        assert_eq!(err.completed.update_seconds.len(), 1);
+        assert!(
+            calls.load(Ordering::SeqCst) <= 5 + 3,
+            "update 2 must not be attempted (saw {} calls)",
+            calls.load(Ordering::SeqCst)
+        );
+        assert!(err.to_string().contains("update 1 failed"));
+    }
+
+    #[test]
+    fn exec_error_display_and_error_impls_cover_every_variant() {
+        let variants = [ExecError::Stall {
+                scheduler: "X".into(),
+            },
+            ExecError::NonEdge {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
+            ExecError::TaskPanicked {
+                node: NodeId(3),
+                message: "boom".into(),
+            },
+            ExecError::TaskFailed {
+                node: NodeId(4),
+                attempts: 7,
+            },
+            ExecError::Timeout {
+                snapshot: Box::new(ExecSnapshot {
+                    scheduler: "Y".into(),
+                    in_flight: (0..12).map(NodeId).collect(),
+                    queued_chunks: 3,
+                    executed: 9,
+                    elapsed_ms: 1500,
+                }),
+            },
+            ExecError::Cancelled { executed: 11 }];
+        let texts: Vec<String> = variants.iter().map(|e| e.to_string()).collect();
+        for (e, t) in variants.iter().zip(&texts) {
+            assert!(!t.is_empty(), "{e:?}");
+            assert!(!t.contains('\n'), "diagnostics must be one-line: {t}");
+            // Exercise the Error impl.
+            let dyn_err: &dyn std::error::Error = e;
+            assert_eq!(dyn_err.to_string(), *t);
+        }
+        assert!(texts[0].contains("stalled"));
+        assert!(texts[1].contains("non-edge"));
+        assert!(texts[2].contains("panicked") && texts[2].contains("boom"));
+        assert!(texts[3].contains("7 attempts"));
+        assert!(texts[4].contains("…"), "long in-flight lists are elided");
+        assert!(texts[5].contains("cancelled after 11"));
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(20));
+        assert_eq!(p.delay(2), Duration::from_millis(35), "capped");
+        assert_eq!(p.delay(30), Duration::from_millis(35), "shift clamped");
+        assert_eq!(RetryPolicy::default().delay(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn cancel_token_roundtrip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+        t.reset();
+        assert!(!t2.is_cancelled());
+    }
+
+    #[test]
+    fn coordinator_panic_releases_workers_within_bounded_wait() {
+        // A scheduler that panics in complete_batch — i.e. an injected
+        // panic in the coordinator's drive loop. The unwind must release
+        // every worker (channel disconnect) instead of leaking them.
+        struct PanicOnComplete {
+            inner: LevelBased,
+        }
+        impl Scheduler for PanicOnComplete {
+            fn name(&self) -> &str {
+                "PanicOnComplete"
+            }
+            fn start(&mut self, initial: &[NodeId]) {
+                self.inner.start(initial);
+            }
+            fn on_completed(&mut self, _v: NodeId, _fired: &[NodeId]) {
+                panic!("injected coordinator failure");
+            }
+            fn pop_ready(&mut self) -> Option<NodeId> {
+                self.inner.pop_ready()
+            }
+            fn is_quiescent(&self) -> bool {
+                self.inner.is_quiescent()
+            }
+            fn cost(&self) -> CostMeter {
+                self.inner.cost()
+            }
+            fn space_bytes(&self) -> usize {
+                0
+            }
+            fn precompute_bytes(&self) -> usize {
+                0
+            }
+            fn on_external_dispatch(&mut self, v: NodeId) {
+                self.inner.on_external_dispatch(v);
+            }
+        }
+        quiet_panics();
+        let dag = diamond();
+        let task = fire_all(&dag);
+        let witness = task.clone();
+        let mut s = PanicOnComplete {
+            inner: LevelBased::new(dag.clone()),
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Executor::new(4).run(&mut s, &dag, &[NodeId(0)], task);
+        }));
+        assert!(caught.is_err(), "coordinator panic must propagate");
+        // All four workers held a TaskFn clone; once they exit, only the
+        // witness remains. Bounded wait: 5 s.
+        let t0 = Instant::now();
+        while Arc::strong_count(&witness) > 1 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "workers leaked after coordinator panic (strong_count = {})",
+                Arc::strong_count(&witness)
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 }

@@ -11,10 +11,21 @@
 //!   the scheduler and pulls whole wavefronts (`pop_batch`), workers are
 //!   fed multi-task chunks over bounded channels (backpressure) and flush
 //!   completions in reusable batches with the fired-edge sets the task
-//!   functions compute.
+//!   functions compute. Execution is fault-tolerant: panics are isolated
+//!   per task, transient failures retry under a bounded backoff policy, a
+//!   watchdog deadline and a [`executor::CancelToken`] bound every
+//!   update's latency, and an [`executor::UpdateJournal`] makes failed
+//!   updates resumable without re-running committed work.
+//! * [`faults`] — the deterministic chaos harness: seeded fault plans
+//!   (panic-at-nth, fail-k-then-succeed, delay) that wrap any task
+//!   function, used by the chaos test suite to prove the run-once safety
+//!   invariant holds under injected failure.
 
 pub mod executor;
+pub mod faults;
 
 pub use executor::{
-    ExecConfig, ExecError, ExecReport, Executor, StreamReport, TaskFn,
+    CancelToken, ExecConfig, ExecError, ExecReport, ExecSnapshot, Executor, RetryPolicy,
+    StreamError, StreamReport, TaskFn, TaskOutcome, TryTaskFn, UpdateJournal,
 };
+pub use faults::{Fault, FaultPlan};

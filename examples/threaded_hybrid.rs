@@ -6,12 +6,13 @@
 //! Run: `cargo run --release --example threaded_hybrid`
 
 use datalog_sched::dag::{DagBuilder, NodeId};
-use datalog_sched::runtime::{Executor, TaskFn};
+use datalog_sched::runtime::{ExecError, Executor, TaskFn};
 use datalog_sched::sched::{Hybrid, LevelBased, LogicBlox, Scheduler};
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     // 64 independent pipelines of depth 4 — a parallel-friendly update.
     let pipes = 64u32;
     let depth = 4u32;
@@ -53,7 +54,25 @@ fn main() {
         ];
         for mut s in schedulers {
             let t0 = Instant::now();
-            let report = Executor::new(workers).run_or_panic(s.as_mut(), &dag, &initial, task.clone());
+            // A failed run prints a one-line diagnostic and exits nonzero:
+            // Stall means a broken scheduler, NonEdge a broken task body,
+            // TaskPanicked an isolated worker panic — all typed, no hang.
+            let report = match Executor::new(workers).run(s.as_mut(), &dag, &initial, task.clone())
+            {
+                Ok(report) => report,
+                Err(
+                    e @ (ExecError::Stall { .. }
+                    | ExecError::NonEdge { .. }
+                    | ExecError::TaskPanicked { .. }),
+                ) => {
+                    eprintln!("threaded_hybrid: {} failed: {e}", s.name());
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("threaded_hybrid: {} failed: {e}", s.name());
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
                 "  {:>2} workers  {:<12} {:>8.2} ms  ({} tasks executed)",
                 workers,
@@ -66,4 +85,5 @@ fn main() {
         println!();
     }
     println!("every scheduler executes the same task set; wall time scales with workers.");
+    ExitCode::SUCCESS
 }

@@ -114,6 +114,76 @@ fn space_claim_is_stable_across_restarts() {
     }
 }
 
+/// An aborted threaded update (injected panic and cancellation, the two
+/// fault-tolerance abort paths) leaves every scheduler restartable:
+/// `start()` after the abort behaves exactly like a fresh update — the
+/// generation-stamped state tables make the abandoned generation inert.
+#[test]
+fn aborted_updates_restart_identically() {
+    use datalog_sched::runtime::executor::{
+        CancelToken, ExecConfig, ExecError, Executor, TryTaskFn,
+    };
+    use datalog_sched::runtime::faults::silence_injected_panics;
+    use datalog_sched::runtime::TaskOutcome;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    silence_injected_panics();
+    let inst = instance(0xAB0B7);
+    let fired_sets = Arc::new(inst.fired.clone());
+    for kind in ALL_KINDS {
+        let mut s = kind.build(inst.dag.clone());
+        let baseline = drive(s.as_mut(), &inst);
+
+        // Abort path 1: a task panic partway through the update.
+        let panicking: TryTaskFn = {
+            let fired_sets = fired_sets.clone();
+            let budget = AtomicU32::new(4);
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                if budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    panic!("fault-injected panic: restart regression");
+                }
+                fired.extend_from_slice(&fired_sets[v.index()]);
+                TaskOutcome::Done
+            })
+        };
+        let err = Executor::new(4)
+            .run_fallible(s.as_mut(), &inst.dag, &inst.initial_active, panicking, None)
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::TaskPanicked { .. }),
+            "{kind:?}: {err:?}"
+        );
+        assert_eq!(
+            drive(s.as_mut(), &inst),
+            baseline,
+            "{kind:?}: decisions drifted after panic-aborted update"
+        );
+
+        // Abort path 2: cooperative cancellation mid-update.
+        let token = CancelToken::new();
+        let cancelling: TryTaskFn = {
+            let fired_sets = fired_sets.clone();
+            let token = token.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                token.cancel();
+                fired.extend_from_slice(&fired_sets[v.index()]);
+                TaskOutcome::Done
+            })
+        };
+        let mut cfg = ExecConfig::new(4);
+        cfg.cancel = Some(token);
+        let err = Executor::with_config(cfg)
+            .run_fallible(s.as_mut(), &inst.dag, &inst.initial_active, cancelling, None)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled { .. }), "{kind:?}: {err:?}");
+        assert_eq!(
+            drive(s.as_mut(), &inst),
+            baseline,
+            "{kind:?}: decisions drifted after cancelled update"
+        );
+    }
+}
+
 /// An empty update between real updates is a no-op: nothing executes and
 /// the following real update is unaffected.
 #[test]

@@ -54,6 +54,22 @@ pub mod channel {
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error on [`Receiver::recv_timeout`]: either nothing arrived within
+    /// the timeout, or the channel disconnected while waiting.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Error on [`Sender::send_timeout`]: the queue stayed full for the
+    /// whole timeout, or every receiver dropped. Carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
     fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
@@ -105,6 +121,36 @@ pub mod channel {
             }
         }
 
+        /// Block until the queue has room, every receiver is gone, or
+        /// `timeout` elapses — lets a deadline-armed producer keep the
+        /// cheap condvar-based backpressure path instead of degrading to
+        /// a sleep-poll loop.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if state.items.len() < self.shared.cap {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(SendTimeoutError::Timeout(value));
+                };
+                state = self.shared.vacancy.wait_timeout(state, remaining).unwrap().0;
+            }
+        }
+
         /// Non-blocking send: `Err` with the value when the queue is full
         /// or every receiver dropped.
         pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
@@ -153,6 +199,33 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Block until an item arrives, every sender is gone, or `timeout`
+        /// elapses — the primitive behind the executor's stall watchdog,
+        /// which must never wait on a wedged pipeline forever.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.vacancy.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                state = self.shared.ready.wait_timeout(state, remaining).unwrap().0;
             }
         }
 
@@ -232,6 +305,35 @@ mod tests {
     }
 
     #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send_from_other_thread() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let h = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
     fn multi_producer_multi_consumer_delivers_everything() {
         let (tx, rx) = channel::unbounded();
         let producers: Vec<_> = (0..4)
@@ -298,6 +400,31 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
         assert_eq!(producer.join().unwrap(), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn send_timeout_times_out_full_then_succeeds_on_room() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            tx.send_timeout(2, std::time::Duration::from_millis(30)),
+            Err(channel::SendTimeoutError::Timeout(2))
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        // A waiting send completes as soon as the consumer makes room.
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send_timeout(2, std::time::Duration::from_secs(10)))
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(producer.join().unwrap(), Ok(()));
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(3, std::time::Duration::from_secs(5)),
+            Err(channel::SendTimeoutError::Disconnected(3))
+        );
     }
 
     #[test]
