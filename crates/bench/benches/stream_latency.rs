@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the stream fast path: a closed-loop
+//! backlog of 1-tuple updates driven through `run_stream_with` under the
+//! serial, pipelined and coalesced admission policies, plus the raw
+//! `DeltaQueue` merge throughput. The `stream_latency` bin produces the
+//! machine-readable percentile sweep; these give statistically solid
+//! point comparisons for the admission layer itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incr_dag::{random, Dag, NodeId};
+use incr_datalog::{DeltaQueue, FactEdit};
+use incr_runtime::{infallible, Executor, StreamPolicy, StreamUpdate, TaskFn};
+use incr_sched::LevelBased;
+use std::sync::Arc;
+
+fn bench_dag() -> Arc<Dag> {
+    Arc::new(random::layered(random::LayeredParams {
+        layers: 6,
+        width: 200,
+        max_in: 4,
+        back_span: 2,
+        seed: 23,
+    }))
+}
+
+/// 200 backlogged 1-node updates through each admission policy, 4 workers.
+fn bench_stream_policies(c: &mut Criterion) {
+    let dag = bench_dag();
+    let task: TaskFn = {
+        let dag = dag.clone();
+        Arc::new(move |v, fired: &mut Vec<NodeId>| {
+            if let Some(&ch) = dag.children(v).first() {
+                fired.push(ch);
+            }
+        })
+    };
+    let updates: Vec<StreamUpdate> = (0..200)
+        .map(|i| StreamUpdate::now(vec![NodeId(i % 200)]))
+        .collect();
+    let mut g = c.benchmark_group("stream_200_updates");
+    g.sample_size(20);
+    for (label, policy) in [
+        ("serial", StreamPolicy::serial()),
+        ("pipelined", StreamPolicy::pipelined()),
+        ("coalesced_32", StreamPolicy::coalesced(32)),
+    ] {
+        let exec = Executor::new(4);
+        let mut sched = LevelBased::new(dag.clone());
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = exec
+                    .run_stream_with(
+                        &mut sched,
+                        &dag,
+                        &updates,
+                        infallible(task.clone()),
+                        &policy,
+                        None,
+                    )
+                    .unwrap();
+                std::hint::black_box(r.updates)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Pure queue layer: merging a churny edit stream (repeated insert/delete
+/// of the same keys) into a net delta, no engine or threads.
+fn bench_delta_queue(c: &mut Criterion) {
+    let edits: Vec<FactEdit> = (0..1000)
+        .map(|i| {
+            let a = format!("v{}", i % 50);
+            let b = format!("v{}", (i + 1) % 50);
+            if i % 3 == 2 {
+                FactEdit::remove("edge", &[&a, &b])
+            } else {
+                FactEdit::add("edge", &[&a, &b])
+            }
+        })
+        .collect();
+    c.bench_function("delta_queue_merge_1k", |b| {
+        b.iter(|| {
+            let mut q = DeltaQueue::new();
+            for e in &edits {
+                q.push(e.clone());
+            }
+            q.end_update();
+            let (net, updates) = q.drain();
+            std::hint::black_box((net.len(), updates))
+        });
+    });
+}
+
+criterion_group!(benches, bench_stream_policies, bench_delta_queue);
+criterion_main!(benches);

@@ -129,6 +129,7 @@ fn main() {
     let (n, k, join_rows) = if smoke { (80, 8, 500) } else { (300, 10, 2000) };
     let par_threads = std::thread::available_parallelism().map_or(4, |t| t.get()).max(4);
     let mut results = ResultsWriter::new("datalog_perf", 0);
+    results.set_workers(par_threads);
 
     // ---- Workload 1: transitive-closure incremental update, 1 vs N threads. ----
     println!("datalog_perf: transitive closure n={n}, {k} edges deleted+reinserted\n");

@@ -72,6 +72,9 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters = if smoke { 2 } else { 4 };
     let mut results = ResultsWriter::new("exec_throughput", 0);
+    // Real threads, not simulated processors: the headline sections run 8
+    // workers (per-row sweeps record their own counts).
+    results.set_workers(8);
 
     // ---- Section 1: batched pipeline vs legacy per-task dispatch (0µs tasks, 8 workers). ----
     let (layers, width) = if smoke { (40, 50) } else { (50, 400) };

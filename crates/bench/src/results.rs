@@ -10,6 +10,7 @@
 //!   "schema_version": 1,
 //!   "bin": "table3",
 //!   "processors": 8,
+//!   "host": { "available_parallelism": 8, "workers": 8 },
 //!   "rows": [
 //!     {
 //!       "trace": "#6", "scheduler": "Hybrid",
@@ -41,7 +42,15 @@ pub const RESULTS_DIR: &str = "results";
 pub struct ResultsWriter {
     bin: String,
     processors: usize,
+    workers: Option<usize>,
     rows: Vec<Json>,
+}
+
+/// Detected hardware parallelism of the machine the bench ran on (1 if
+/// detection fails). Recorded in every results document so A/B numbers
+/// stay interpretable across machines.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl ResultsWriter {
@@ -52,8 +61,16 @@ impl ResultsWriter {
         ResultsWriter {
             bin: bin.to_string(),
             processors,
+            workers: None,
             rows: Vec::new(),
         }
+    }
+
+    /// Record the real executor worker-thread count the experiment ran
+    /// with (as opposed to `processors`, the paper's *simulated* count).
+    /// Unset means the experiment did not run real threads.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = Some(workers);
     }
 
     /// Append the standard row for one scheduler-on-trace measurement.
@@ -71,10 +88,18 @@ impl ResultsWriter {
     /// The full document, including a snapshot of the global metrics
     /// registry (peak gauges, protocol counters) at call time.
     pub fn to_value(&self) -> Json {
+        let host = obj([
+            ("available_parallelism", available_parallelism().into()),
+            (
+                "workers",
+                self.workers.map_or(Json::Null, |w| w.into()),
+            ),
+        ]);
         obj([
             ("schema_version", SCHEMA_VERSION.into()),
             ("bin", self.bin.as_str().into()),
             ("processors", self.processors.into()),
+            ("host", host),
             ("rows", Json::Arr(self.rows.clone())),
             ("metrics", incr_obs::registry().snapshot()),
         ])
@@ -171,6 +196,20 @@ mod tests {
         let ops = row.get("overhead_ops").unwrap();
         assert!(ops.get("total_ops").unwrap().as_u64().unwrap() > 0);
         assert!(row.get("peak_gauges").unwrap().as_obj().is_some());
+    }
+
+    #[test]
+    fn host_metadata_records_parallelism_and_workers() {
+        let mut w = ResultsWriter::new("host_test", 0);
+        let doc = Json::parse(&w.to_value().to_json()).unwrap();
+        let host = doc.get("host").unwrap();
+        let ap = host.get("available_parallelism").unwrap().as_u64().unwrap();
+        assert!(ap >= 1, "detected parallelism must be at least 1");
+        assert!(matches!(host.get("workers"), Some(Json::Null)));
+        w.set_workers(4);
+        let doc = Json::parse(&w.to_value().to_json()).unwrap();
+        let host = doc.get("host").unwrap();
+        assert_eq!(host.get("workers").unwrap().as_u64(), Some(4));
     }
 
     #[test]

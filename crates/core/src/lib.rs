@@ -58,6 +58,7 @@ pub mod lookahead;
 pub mod obs;
 pub mod scheduler;
 pub mod signal;
+pub mod stream;
 
 pub use cost::{CostMeter, CostPrices};
 pub use duo::Duo;
@@ -71,6 +72,7 @@ pub use scheduler::{
     CompletionBatch, ExactGreedy, NodeState, SafetyChecker, Scheduler, StateTable,
 };
 pub use signal::SignalPropagation;
+pub use stream::ActivationCoalescer;
 
 use incr_dag::Dag;
 use std::sync::Arc;

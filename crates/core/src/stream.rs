@@ -1,0 +1,121 @@
+//! Activation-set coalescing for streamed updates.
+//!
+//! When k queued updates are admitted as one scheduler run, their
+//! initially-active sets must be merged into a single `start()` argument.
+//! Active closures distribute over union — `closure(A ∪ B) = closure(A) ∪
+//! closure(B)`, since a node is active iff it is reachable from the
+//! initial set along fired edges — so the union start executes exactly
+//! the union of what the serial runs would execute, each node at most
+//! once per coalesced run.
+//!
+//! [`ActivationCoalescer`] computes that union allocation-free after
+//! setup: one generation-stamped array sized to the DAG, reused across
+//! every merge in the stream (the same trick as the scheduler
+//! `StateTable`, so coalescing k updates costs O(Σ|setᵢ|), not O(V)).
+
+use incr_dag::NodeId;
+
+/// Generation-stamped set-union helper for initially-active node sets.
+#[derive(Clone, Debug, Default)]
+pub struct ActivationCoalescer {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl ActivationCoalescer {
+    /// A coalescer for DAGs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ActivationCoalescer {
+            stamp: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    /// Begin a fresh merge: forget everything added so far. O(1) — the
+    /// generation bump invalidates all stamps at once.
+    pub fn begin(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stamps from 2^32 merges ago could collide. Hard
+            // reset (once every 4 billion merges).
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Append the members of `initial` not yet seen this merge to `out`,
+    /// preserving first-occurrence order.
+    pub fn add(&mut self, initial: &[NodeId], out: &mut Vec<NodeId>) {
+        for &v in initial {
+            let s = &mut self.stamp[v.index()];
+            if *s != self.generation {
+                *s = self.generation;
+                out.push(v);
+            }
+        }
+    }
+
+    /// Convenience: union of several sets in one call.
+    pub fn union_into(&mut self, sets: &[&[NodeId]], out: &mut Vec<NodeId>) {
+        self.begin();
+        out.clear();
+        for set in sets {
+            self.add(set, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn union_dedupes_across_sets() {
+        let mut c = ActivationCoalescer::new(8);
+        let mut out = Vec::new();
+        let (a, b, d) = (ids(&[0, 3, 5]), ids(&[3, 1]), ids(&[5, 0, 7]));
+        c.union_into(&[&a, &b, &d], &mut out);
+        assert_eq!(out, ids(&[0, 3, 5, 1, 7]));
+    }
+
+    #[test]
+    fn dedupes_within_one_set() {
+        let mut c = ActivationCoalescer::new(4);
+        let mut out = Vec::new();
+        c.union_into(&[&ids(&[2, 2, 2])], &mut out);
+        assert_eq!(out, ids(&[2]));
+    }
+
+    #[test]
+    fn begin_resets_between_merges() {
+        let mut c = ActivationCoalescer::new(4);
+        let mut out = Vec::new();
+        c.union_into(&[&ids(&[1, 2])], &mut out);
+        c.union_into(&[&ids(&[2, 3])], &mut out);
+        assert_eq!(out, ids(&[2, 3]));
+    }
+
+    #[test]
+    fn incremental_add_preserves_order() {
+        let mut c = ActivationCoalescer::new(8);
+        let mut out = Vec::new();
+        c.begin();
+        c.add(&ids(&[4, 1]), &mut out);
+        c.add(&ids(&[1, 6]), &mut out);
+        assert_eq!(out, ids(&[4, 1, 6]));
+    }
+
+    #[test]
+    fn generation_wrap_hard_resets() {
+        let mut c = ActivationCoalescer::new(2);
+        c.generation = u32::MAX;
+        let mut out = Vec::new();
+        c.union_into(&[&ids(&[0])], &mut out);
+        assert_eq!(out, ids(&[0]));
+        assert_eq!(c.generation, 1);
+    }
+}

@@ -55,10 +55,7 @@ pub fn to_dot(
         }
     }
     if opts.rank_by_level {
-        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); dag.num_levels() as usize];
-        for v in dag.nodes().take(limit) {
-            by_level[dag.level(v) as usize].push(v);
-        }
+        let by_level = crate::levels::nodes_by_level_capped(dag, limit);
         for bucket in by_level.iter().filter(|b| b.len() > 1) {
             let ids: Vec<String> = bucket.iter().map(|v| v.index().to_string()).collect();
             let _ = writeln!(out, "  {{ rank=same; {} }}", ids.join("; "));

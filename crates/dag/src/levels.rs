@@ -42,14 +42,79 @@ pub fn peel_levels(dag: &Dag) -> Vec<u32> {
     levels
 }
 
-/// Group node ids by level: `result[l]` lists all nodes at level `l`.
-/// This is the bucket layout the LevelBased scheduler walks (paper §III).
-pub fn nodes_by_level(dag: &Dag) -> Vec<Vec<NodeId>> {
-    let mut buckets = vec![Vec::new(); dag.num_levels() as usize];
-    for v in dag.nodes() {
-        buckets[dag.level(v) as usize].push(v);
+/// Per-level node grouping in CSR form: one flat node array plus a
+/// `num_levels + 1` offsets array, so bucket `l` is the slice
+/// `nodes[offsets[l]..offsets[l + 1]]`. Two allocations total, regardless
+/// of level count — the bucket layout the LevelBased scheduler walks
+/// (paper §III) without the per-level `Vec` overhead.
+#[derive(Clone, Debug, Default)]
+pub struct LevelBuckets {
+    offsets: Vec<u32>,
+    nodes: Vec<NodeId>,
+}
+
+impl LevelBuckets {
+    /// Number of levels (possibly-empty buckets included).
+    pub fn num_levels(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
     }
-    buckets
+
+    /// Total nodes across all buckets.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes at level `l`, in ascending id order.
+    pub fn level(&self, l: u32) -> &[NodeId] {
+        let lo = self.offsets[l as usize] as usize;
+        let hi = self.offsets[l as usize + 1] as usize;
+        &self.nodes[lo..hi]
+    }
+
+    /// Iterate buckets from level 0 upward.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.num_levels()).map(move |l| self.level(l as u32))
+    }
+
+    /// Counting-sort construction from `(level, node)` pairs. The producer
+    /// closure is invoked twice (count pass, then placement pass) and must
+    /// yield the same pairs both times; `num_levels` bounds every level.
+    fn from_pairs(num_levels: usize, mut pairs: impl FnMut(&mut dyn FnMut(u32, NodeId))) -> Self {
+        let mut offsets = vec![0u32; num_levels + 1];
+        pairs(&mut |l, _| offsets[l as usize + 1] += 1);
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_levels].to_vec();
+        let mut nodes = vec![NodeId(0); *offsets.last().unwrap_or(&0) as usize];
+        pairs(&mut |l, v| {
+            let c = &mut cursor[l as usize];
+            nodes[*c as usize] = v;
+            *c += 1;
+        });
+        LevelBuckets { offsets, nodes }
+    }
+}
+
+/// Group node ids by level: `buckets.level(l)` lists all nodes at level
+/// `l`, backed by a flat CSR layout (offsets + one node array).
+pub fn nodes_by_level(dag: &Dag) -> LevelBuckets {
+    LevelBuckets::from_pairs(dag.num_levels() as usize, |emit| {
+        for v in dag.nodes() {
+            emit(dag.level(v), v);
+        }
+    })
+}
+
+/// Like [`nodes_by_level`], restricted to the first `limit` node ids —
+/// used by excerpt renderers (DOT export) that cap emitted nodes.
+pub fn nodes_by_level_capped(dag: &Dag, limit: usize) -> LevelBuckets {
+    let limit = limit.min(dag.node_count());
+    LevelBuckets::from_pairs(dag.num_levels() as usize, |emit| {
+        for v in dag.nodes().take(limit) {
+            emit(dag.level(v), v);
+        }
+    })
 }
 
 /// Maximum level width: `max_l |{v : level(v) = l}|`. Wide-and-shallow DAGs
@@ -91,13 +156,47 @@ mod tests {
     fn buckets_partition_nodes() {
         let d = chain_with_shortcut();
         let buckets = nodes_by_level(&d);
-        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(buckets.node_count(), d.node_count());
+        assert_eq!(buckets.num_levels() as u32, d.num_levels());
+        let total: usize = buckets.iter().map(<[NodeId]>::len).sum();
         assert_eq!(total, d.node_count());
         for (l, bucket) in buckets.iter().enumerate() {
             for &v in bucket {
                 assert_eq!(d.level(v) as usize, l);
             }
         }
+    }
+
+    #[test]
+    fn buckets_are_sorted_within_level() {
+        let d = chain_with_shortcut();
+        let buckets = nodes_by_level(&d);
+        for bucket in buckets.iter() {
+            assert!(bucket.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn capped_buckets_cover_prefix_only() {
+        let d = chain_with_shortcut();
+        let capped = nodes_by_level_capped(&d, 2);
+        assert_eq!(capped.node_count(), 2);
+        for bucket in capped.iter() {
+            for &v in bucket {
+                assert!(v.index() < 2);
+            }
+        }
+        // A cap beyond the node count is the full grouping.
+        let full = nodes_by_level_capped(&d, 99);
+        assert_eq!(full.node_count(), d.node_count());
+    }
+
+    #[test]
+    fn empty_dag_buckets() {
+        let d = DagBuilder::new(0).build().unwrap();
+        let buckets = nodes_by_level(&d);
+        assert_eq!(buckets.node_count(), 0);
+        assert_eq!(buckets.iter().count(), buckets.num_levels());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod reach;
 pub use builder::{DagBuilder, DagError};
 pub use graph::{Dag, NodeId};
 pub use interval::IntervalList;
+pub use levels::LevelBuckets;
 
 #[cfg(test)]
 mod proptests;

@@ -75,6 +75,20 @@ impl FactEdit {
             args: args.iter().map(|s| s.to_string()).collect(),
         }
     }
+
+    /// The edited predicate's name.
+    pub fn pred_name(&self) -> &str {
+        match self {
+            FactEdit::Add { pred, .. } | FactEdit::Remove { pred, .. } => pred,
+        }
+    }
+
+    /// The edit's argument texts.
+    pub fn arg_texts(&self) -> &[String] {
+        match self {
+            FactEdit::Add { args, .. } | FactEdit::Remove { args, .. } => args,
+        }
+    }
 }
 
 /// What one incremental update did.
@@ -283,6 +297,93 @@ impl IncrementalEngine {
             .map(|(p, d)| (*p, d.clone()))
             .collect();
         self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo)
+    }
+
+    /// Queue one logical update's edits into `q`, coalescing against the
+    /// live base tables ([`crate::stream::DeltaQueue`] keeps the exact net
+    /// diff: restoring edits cancel queued opposites, re-stating edits
+    /// drop). Validation (predicate exists, arity, base-only) happens
+    /// here, so a later [`Self::apply_queue`] cannot fail on edit shape.
+    pub fn enqueue(
+        &mut self,
+        q: &mut crate::stream::DeltaQueue,
+        edits: &[FactEdit],
+    ) -> Result<(), EngineError> {
+        for e in edits {
+            let (pred, args) = match e {
+                FactEdit::Add { pred, args } | FactEdit::Remove { pred, args } => (pred, args),
+            };
+            let id = self
+                .db
+                .pred_id(pred)
+                .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
+            if self.db.rel(id).arity() != args.len() {
+                return Err(EngineError::Edit(format!(
+                    "{pred} has arity {}, edit has {}",
+                    self.db.rel(id).arity(),
+                    args.len()
+                )));
+            }
+            let node = self.graph.node_of_pred[&id];
+            if !matches!(self.graph.kinds[node.index()], NodeKind::Base(_)) {
+                return Err(EngineError::Edit(format!(
+                    "{pred} is a derived predicate; only base tables can be edited"
+                )));
+            }
+            let tuple: Tuple = args
+                .iter()
+                .map(|a| match a.parse::<i64>() {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => self.db.sym(a),
+                })
+                .collect();
+            let present = self.db.rel(id).contains(&tuple);
+            q.push_with_presence(e.clone(), present);
+        }
+        q.end_update();
+        Ok(())
+    }
+
+    /// Drain the queue's net delta and apply it as **one** update — one
+    /// scheduler `start`, one DRed cascade, for however many logical
+    /// updates were absorbed. On failure (scheduler stall) the engine has
+    /// already rolled the database back, and the drained edits are
+    /// re-queued so no queued change is lost.
+    pub fn apply_queue(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        q: &mut crate::stream::DeltaQueue,
+    ) -> Result<UpdateReport, EngineError> {
+        let (edits, updates) = q.drain();
+        if updates > 1 {
+            incr_obs::registry()
+                .counter("datalog.coalesce.updates_merged")
+                .add(updates as u64 - 1);
+        }
+        match self.update(scheduler, &edits) {
+            Ok(report) => Ok(report),
+            Err(err) => {
+                // Rollback restored the base tables, so re-queuing against
+                // current membership reproduces the pre-drain queue.
+                for e in &edits {
+                    let id = self.db.pred_id(e.pred_name()).expect("validated at enqueue");
+                    let tuple: Tuple = e
+                        .arg_texts()
+                        .iter()
+                        .map(|a| match a.parse::<i64>() {
+                            Ok(i) => Value::Int(i),
+                            Err(_) => self.db.sym(a),
+                        })
+                        .collect();
+                    let present = self.db.rel(id).contains(&tuple);
+                    q.push_with_presence(e.clone(), present);
+                }
+                for _ in 0..updates {
+                    q.end_update();
+                }
+                Err(err)
+            }
+        }
     }
 
     /// The scheduler-driven propagation loop shared by fact updates and

@@ -31,6 +31,7 @@ pub mod parser;
 pub mod query;
 pub mod rel;
 pub mod stratify;
+pub mod stream;
 pub mod taskgraph;
 pub mod value;
 
@@ -44,4 +45,5 @@ pub use par::EvalOptions;
 pub use parser::parse_program;
 pub use query::{parse_pattern, query, Pat};
 pub use rel::{Database, Relation};
+pub use stream::DeltaQueue;
 pub use value::{Tuple, Value};

@@ -70,7 +70,7 @@
 use crossbeam::channel::{self, RecvTimeoutError};
 use incr_dag::{Dag, NodeId};
 use incr_obs::trace;
-use incr_sched::{CompletionBatch, Scheduler};
+use incr_sched::{ActivationCoalescer, CompletionBatch, Scheduler};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -271,15 +271,28 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// A mid-stream failure from [`Executor::run_stream`]: the error plus the
-/// accounting for the updates that completed before it. Updates after the
-/// failing one are not attempted.
+/// A mid-stream failure from [`Executor::run_stream`] /
+/// [`Executor::run_stream_with`]: the error plus the accounting for the
+/// updates that completed before it. Updates after the failing batch are
+/// not attempted.
+///
+/// To resume: re-drive `failed_initial` through
+/// [`Executor::run_fallible`] with the same journal that was passed to
+/// the stream (journaled completions replay instead of re-executing),
+/// then continue the stream from update index
+/// `completed.updates + failed_updates`.
 #[derive(Clone, Debug)]
 pub struct StreamError {
-    /// What stopped the stream (failure of update `completed.updates`).
+    /// What stopped the stream (failure of the batch admitting update
+    /// `completed.updates` onward).
     pub error: ExecError,
     /// Report covering only the fully completed updates.
     pub completed: StreamReport,
+    /// Merged initially-active set of the failing batch — the `initial`
+    /// to pass when resuming it.
+    pub failed_initial: Vec<NodeId>,
+    /// How many stream updates the failing batch had absorbed.
+    pub failed_updates: usize,
 }
 
 impl fmt::Display for StreamError {
@@ -447,7 +460,8 @@ pub struct ExecReport {
     pub coord_busy_fraction: f64,
 }
 
-/// Result of one [`Executor::run_stream`].
+/// Result of one [`Executor::run_stream`] /
+/// [`Executor::run_stream_with`].
 #[derive(Clone, Debug)]
 pub struct StreamReport {
     /// Updates driven to quiescence.
@@ -456,10 +470,112 @@ pub struct StreamReport {
     pub executed: usize,
     /// Wall-clock duration of the whole stream.
     pub wall_seconds: f64,
-    /// Per-update wall-clock durations.
+    /// Per-update processing durations (members of a coalesced batch all
+    /// record their batch's drive duration).
     pub update_seconds: Vec<f64>,
+    /// Per-update sojourn latency: batch completion minus the update's
+    /// arrival time (`StreamUpdate::after`), queue wait included.
+    pub latency_seconds: Vec<f64>,
+    /// Scheduler runs admitted (== `updates` unless coalescing merged
+    /// some).
+    pub batches: usize,
+    /// Updates that shared a batch with at least one other update.
+    pub coalesced: usize,
     /// Coordinator busy fraction over the whole stream.
     pub coord_busy_fraction: f64,
+}
+
+/// One update in a stream: its initially-dirty nodes plus its arrival
+/// time as an offset from the stream's start. A slice passed to
+/// [`Executor::run_stream_with`] must be sorted by `after` (FIFO
+/// admission).
+#[derive(Clone, Debug)]
+pub struct StreamUpdate {
+    /// Initially-active (dirty) nodes of this update.
+    pub initial: Vec<NodeId>,
+    /// Arrival offset from stream start. `ZERO` = already queued when the
+    /// stream starts (closed-loop benchmarking).
+    pub after: Duration,
+}
+
+impl StreamUpdate {
+    /// An update available from the start of the stream.
+    pub fn now(initial: Vec<NodeId>) -> StreamUpdate {
+        StreamUpdate {
+            initial,
+            after: Duration::ZERO,
+        }
+    }
+
+    /// An update arriving `after` the stream starts.
+    pub fn at(initial: Vec<NodeId>, after: Duration) -> StreamUpdate {
+        StreamUpdate { initial, after }
+    }
+}
+
+/// Admission policy for [`Executor::run_stream_with`]: how aggressively
+/// queued updates are merged into one scheduler run, and whether the
+/// coordinator overlaps admission work with the previous update's tail
+/// drain.
+///
+/// The policy is *adaptive by construction*: a batch only ever absorbs
+/// updates that have already arrived, so a shallow queue passes updates
+/// through individually (batch of one, no added latency) while a backlog
+/// coalesces up to `max_coalesce` updates into one cascade. The only
+/// deliberate waiting is the *dwell*: with a non-zero `latency_budget`,
+/// an under-filled batch may wait for imminent arrivals, but never past
+/// the point where its oldest member has aged `latency_budget`.
+#[derive(Clone, Debug)]
+pub struct StreamPolicy {
+    /// Max stream updates merged into one scheduler `start` (1 = never
+    /// coalesce).
+    pub max_coalesce: usize,
+    /// Upper bound on admission delay deliberately added to any update to
+    /// attract more batch members. `ZERO` = admit the moment work exists.
+    pub latency_budget: Duration,
+    /// Overlap the next batch's admission (arrival scan, activation-set
+    /// union, bookkeeping) with the in-flight update's tail drain. The
+    /// scheduler `start` itself stays *after* the previous update's last
+    /// completion — the run-once boundary is per update — but the work
+    /// needed to issue it is already done when quiescence lands.
+    pub pipeline: bool,
+}
+
+impl StreamPolicy {
+    /// The serial baseline: one update per run, admission between runs.
+    /// [`Executor::run_stream`]'s semantics.
+    pub fn serial() -> StreamPolicy {
+        StreamPolicy {
+            max_coalesce: 1,
+            latency_budget: Duration::ZERO,
+            pipeline: false,
+        }
+    }
+
+    /// One update per run, but admission overlapped with the tail drain.
+    pub fn pipelined() -> StreamPolicy {
+        StreamPolicy {
+            max_coalesce: 1,
+            latency_budget: Duration::ZERO,
+            pipeline: true,
+        }
+    }
+
+    /// Pipelined admission with up to `max_coalesce`-way merging and a
+    /// small (1ms) dwell budget.
+    pub fn coalesced(max_coalesce: usize) -> StreamPolicy {
+        StreamPolicy {
+            max_coalesce: max_coalesce.max(1),
+            latency_budget: Duration::from_millis(1),
+            pipeline: true,
+        }
+    }
+}
+
+impl Default for StreamPolicy {
+    fn default() -> StreamPolicy {
+        StreamPolicy::serial()
+    }
 }
 
 /// What the coordinator sends workers.
@@ -589,6 +705,7 @@ impl Executor {
                 Some(&mut completion_order),
                 &mut wait_ns,
                 journal.as_deref_mut(),
+                None,
             )
         });
         let stats = result?;
@@ -626,46 +743,152 @@ impl Executor {
         dag: &Arc<Dag>,
         updates: &[Vec<NodeId>],
         task: TaskFn,
-    ) -> Result<StreamReport, StreamError> {
-        let task = infallible(task);
+    ) -> Result<StreamReport, Box<StreamError>> {
+        let stream: Vec<StreamUpdate> = updates
+            .iter()
+            .map(|initial| StreamUpdate::now(initial.clone()))
+            .collect();
+        self.run_stream_with(
+            scheduler,
+            dag,
+            &stream,
+            infallible(task),
+            &StreamPolicy::serial(),
+            None,
+        )
+    }
+
+    /// The stream fast path: [`Executor::run_stream`] with an explicit
+    /// admission [`StreamPolicy`], arrival times, a fallible task body,
+    /// and optional crash-consistent journaling.
+    ///
+    /// Updates are admitted FIFO. Under a [`StreamPolicy`] with
+    /// `max_coalesce > 1`, every batch absorbs up to that many
+    /// already-arrived updates and drives their *merged* activation set
+    /// through one scheduler `start` — one cascade for the burst. With
+    /// `pipeline`, admission work for batch k+1 (arrival scan, set union,
+    /// latency bookkeeping) happens while batch k's last wavefront
+    /// drains, so quiescence is immediately followed by the next `start`.
+    ///
+    /// Fault-tolerance semantics hold per *batch* (= per coalesced
+    /// update): retry and cancellation apply inside each drive as in
+    /// [`Executor::run_fallible`], and with a `journal` the failing
+    /// batch's committed executions are recorded for replay — see
+    /// [`StreamError`] for the resume recipe.
+    pub fn run_stream_with(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        updates: &[StreamUpdate],
+        task: TryTaskFn,
+        policy: &StreamPolicy,
+        mut journal: Option<&mut UpdateJournal>,
+    ) -> Result<StreamReport, Box<StreamError>> {
+        assert!(policy.max_coalesce >= 1);
+        debug_assert!(
+            updates.windows(2).all(|w| w[0].after <= w[1].after),
+            "stream updates must be sorted by arrival time"
+        );
         let t0 = Instant::now();
         let mut update_seconds = Vec::with_capacity(updates.len());
+        let mut latency_seconds = Vec::with_capacity(updates.len());
         let mut executed = 0usize;
         let mut wait_ns = 0u64;
+        let mut batches = 0usize;
+        let mut coalesced = 0usize;
+        let mut failed_initial: Vec<NodeId> = Vec::new();
+        let mut failed_updates = 0usize;
+        let registry = incr_obs::registry();
+        let depth_gauge = registry.gauge("stream.queue_depth");
+        let coalesced_counter = registry.counter("stream.coalesced");
+        let latency_hist = registry.histogram("stream.update_latency_ns");
+
         let result = self.with_pool(&task, |pipes, ready| {
-            for initial in updates {
+            let mut adm = Admission::new(updates, t0, policy, dag.node_count(), depth_gauge.clone());
+            loop {
+                adm.absorb();
+                if adm.staged.is_empty() {
+                    match adm.next_arrival() {
+                        Some(after) => {
+                            // Idle until the next update arrives.
+                            std::thread::sleep(after.saturating_sub(t0.elapsed()));
+                            continue;
+                        }
+                        None => break, // stream exhausted
+                    }
+                }
+                adm.dwell();
+                let (members, initial) = adm.take_staged();
+                batches += 1;
+                if members.len() > 1 {
+                    coalesced += members.len();
+                    coalesced_counter.add(members.len() as u64);
+                }
                 let u0 = Instant::now();
-                let stats = drive_update(
-                    scheduler,
-                    dag,
-                    initial,
-                    &self.cfg,
-                    pipes,
-                    ready,
-                    None,
-                    &mut wait_ns,
-                    None,
-                )?;
-                executed += stats.executed;
-                update_seconds.push(u0.elapsed().as_secs_f64());
+                let outcome = {
+                    // Scoped so the overlap hook's borrow of `adm` ends
+                    // before the staged buffers are recycled below.
+                    let mut overlap = || adm.absorb();
+                    drive_update(
+                        scheduler,
+                        dag,
+                        &initial,
+                        &self.cfg,
+                        pipes,
+                        ready,
+                        None,
+                        &mut wait_ns,
+                        journal.as_deref_mut(),
+                        policy.pipeline.then_some(&mut overlap as &mut dyn FnMut()),
+                    )
+                };
+                match outcome {
+                    Ok(stats) => {
+                        executed += stats.executed;
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.clear();
+                        }
+                        let done_at = t0.elapsed();
+                        let dur = u0.elapsed().as_secs_f64();
+                        for &idx in &members {
+                            let sojourn = done_at.saturating_sub(updates[idx].after);
+                            update_seconds.push(dur);
+                            latency_seconds.push(sojourn.as_secs_f64());
+                            latency_hist.record(sojourn.as_nanos() as u64);
+                        }
+                        adm.recycle(members, initial);
+                    }
+                    Err(error) => {
+                        failed_initial = initial;
+                        failed_updates = members.len();
+                        return Err(error);
+                    }
+                }
             }
-            Ok(DriveStats::default())
+            Ok(())
         });
         let wall = t0.elapsed();
         record_occupancy(wall.as_nanos() as u64, wait_ns);
         let report = StreamReport {
-            updates: update_seconds.len(),
+            updates: latency_seconds.len(),
             executed,
             wall_seconds: wall.as_secs_f64(),
             update_seconds,
+            latency_seconds,
+            batches,
+            coalesced,
             coord_busy_fraction: busy_fraction(wall.as_nanos() as u64, wait_ns),
         };
         match result {
-            Ok(_) => Ok(report),
-            Err(error) => Err(StreamError {
+            Ok(()) => Ok(report),
+            // Boxed: the error path is cold and the payload (full report +
+            // merged initial set) would otherwise dominate the Ok size.
+            Err(error) => Err(Box::new(StreamError {
                 error,
                 completed: report,
-            }),
+                failed_initial,
+                failed_updates,
+            })),
         }
     }
 
@@ -1013,6 +1236,117 @@ fn worker_loop(
     }
 }
 
+/// Stream admission state: which updates have arrived, which are staged
+/// for the next batch, and their merged activation set. `absorb` is
+/// incremental and non-blocking, so the pipelined stream can run it from
+/// the tail-drain overlap hook; `dwell` (deliberate waiting, bounded by
+/// the policy's latency budget) only ever runs between batches.
+struct Admission<'a> {
+    updates: &'a [StreamUpdate],
+    t0: Instant,
+    policy: &'a StreamPolicy,
+    /// Next update index not yet staged (FIFO admission cursor).
+    next: usize,
+    /// Indices staged for the next batch.
+    staged: Vec<usize>,
+    /// Stamp-deduped union of the staged updates' initial sets.
+    staged_initial: Vec<NodeId>,
+    coalescer: ActivationCoalescer,
+    /// Scratch recycled through `take_staged`/`recycle` so steady-state
+    /// admission allocates nothing.
+    spare: Option<(Vec<usize>, Vec<NodeId>)>,
+    depth_gauge: std::sync::Arc<incr_obs::Gauge>,
+}
+
+impl<'a> Admission<'a> {
+    fn new(
+        updates: &'a [StreamUpdate],
+        t0: Instant,
+        policy: &'a StreamPolicy,
+        nodes: usize,
+        depth_gauge: std::sync::Arc<incr_obs::Gauge>,
+    ) -> Admission<'a> {
+        Admission {
+            updates,
+            t0,
+            policy,
+            next: 0,
+            staged: Vec::new(),
+            staged_initial: Vec::new(),
+            coalescer: ActivationCoalescer::new(nodes),
+            spare: None,
+            depth_gauge,
+        }
+    }
+
+    /// Stage every already-arrived update up to `max_coalesce`,
+    /// non-blocking. Safe to call while the previous batch drains.
+    fn absorb(&mut self) {
+        let elapsed = self.t0.elapsed();
+        while self.staged.len() < self.policy.max_coalesce && self.next < self.updates.len() {
+            let u = &self.updates[self.next];
+            if u.after > elapsed {
+                break; // not arrived yet; never wait here
+            }
+            if self.staged.is_empty() {
+                self.coalescer.begin();
+                self.staged_initial.clear();
+            }
+            self.coalescer.add(&u.initial, &mut self.staged_initial);
+            self.staged.push(self.next);
+            self.next += 1;
+        }
+        // Arrived-but-unadmitted backlog (pressure signal).
+        let mut arrived = self.next;
+        while arrived < self.updates.len() && self.updates[arrived].after <= elapsed {
+            arrived += 1;
+        }
+        self.depth_gauge
+            .set((arrived - self.next + self.staged.len()) as i64);
+    }
+
+    /// With an under-filled batch and a non-zero latency budget, wait for
+    /// imminent arrivals — but never longer than the budget past the
+    /// oldest staged member's arrival.
+    fn dwell(&mut self) {
+        if self.policy.latency_budget.is_zero() {
+            return;
+        }
+        while self.staged.len() < self.policy.max_coalesce && self.next < self.updates.len() {
+            let oldest = self.updates[self.staged[0]].after;
+            let horizon = oldest.saturating_add(self.policy.latency_budget);
+            let arrival = self.updates[self.next].after;
+            if arrival > horizon {
+                break; // would overdraw the oldest member's budget
+            }
+            std::thread::sleep(arrival.saturating_sub(self.t0.elapsed()));
+            self.absorb();
+        }
+    }
+
+    /// Arrival offset of the next unstaged update, or `None` if the
+    /// stream is exhausted.
+    fn next_arrival(&self) -> Option<Duration> {
+        self.updates.get(self.next).map(|u| u.after)
+    }
+
+    /// Move the staged batch out (member indices + merged initial set),
+    /// leaving recycled scratch behind.
+    fn take_staged(&mut self) -> (Vec<usize>, Vec<NodeId>) {
+        let (mut members, mut initial) = self.spare.take().unwrap_or_default();
+        members.clear();
+        initial.clear();
+        std::mem::swap(&mut members, &mut self.staged);
+        std::mem::swap(&mut initial, &mut self.staged_initial);
+        (members, initial)
+    }
+
+    /// Return `take_staged` buffers for reuse.
+    fn recycle(&mut self, members: Vec<usize>, initial: Vec<NodeId>) {
+        self.spare = Some((members, initial));
+    }
+}
+
 /// What one update actually did.
 #[derive(Clone, Copy, Debug, Default)]
 struct DriveStats {
@@ -1116,6 +1450,15 @@ impl DriveState<'_> {
 /// One update to quiescence on the batched pipeline. Returns tasks
 /// executed/replayed; accumulates coordinator blocked-time into
 /// `wait_ns`.
+///
+/// `overlap`, when given, is invoked every time the coordinator is about
+/// to block waiting for worker completions — i.e. whenever this update
+/// has dispatched everything poppable and is draining a wavefront. The
+/// pipelined stream uses it to do the *next* update's admission work
+/// under the current update's tail drain. The hook must be non-blocking
+/// and must not touch the scheduler: completions of this update may
+/// still land after it runs, so the next `start` stays strictly after
+/// this drive returns (the run-once boundary is per update).
 #[allow(clippy::too_many_arguments)]
 fn drive_update(
     scheduler: &mut dyn Scheduler,
@@ -1127,6 +1470,7 @@ fn drive_update(
     order: Option<&mut Vec<NodeId>>,
     wait_ns: &mut u64,
     journal: Option<&mut UpdateJournal>,
+    mut overlap: Option<&mut dyn FnMut()>,
 ) -> Result<DriveStats, ExecError> {
     scheduler.start(initial);
     let t0 = Instant::now();
@@ -1192,6 +1536,12 @@ fn drive_update(
             return Err(ExecError::Stall {
                 scheduler: scheduler.name().to_string(),
             });
+        }
+        // Tail-drain overlap point: everything poppable is dispatched and
+        // the coordinator is about to block, so admission work for the
+        // next stream update can run here for free.
+        if let Some(hook) = overlap.as_mut() {
+            hook();
         }
         // Block for one completion batch, then drain whatever else landed.
         let wait = trace::span("exec", "coordinator.wait_completion");
@@ -1579,6 +1929,101 @@ mod tests {
         // 4 (full) + 0 (empty) + 2 (from node 1) + 4 (full again).
         assert_eq!(report.executed, 10);
         assert_eq!(report.update_seconds.len(), 4);
+        assert_eq!(report.latency_seconds.len(), 4);
+        assert_eq!(report.batches, 4, "serial stream never merges");
+        assert_eq!(report.coalesced, 0);
+    }
+
+    /// Ten alternating 1-node updates under 4-way coalescing: three
+    /// batches, each driving the union closure once.
+    #[test]
+    fn coalesced_stream_merges_backlogged_updates() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let updates: Vec<StreamUpdate> = (0..10)
+            .map(|i| StreamUpdate::now(vec![NodeId(i % 2)]))
+            .collect();
+        let report = Executor::new(2)
+            .run_stream_with(
+                &mut s,
+                &dag,
+                &updates,
+                infallible(fire_all(&dag)),
+                &StreamPolicy::coalesced(4),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.updates, 10);
+        assert_eq!(report.batches, 3, "10 updates / max_coalesce 4");
+        assert_eq!(report.coalesced, 10, "every update shared its batch");
+        // Each batch drives closure({0} ∪ {1}) = all four nodes once.
+        assert_eq!(report.executed, 12);
+        assert_eq!(report.latency_seconds.len(), 10);
+        assert_eq!(report.update_seconds.len(), 10);
+    }
+
+    /// Pipelining alone (no coalescing) must not change what executes.
+    #[test]
+    fn pipelined_stream_matches_serial_executed_counts() {
+        let dag = diamond();
+        let updates: Vec<Vec<NodeId>> =
+            vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(0)], vec![]];
+        let mut serial_sched = LevelBased::new(dag.clone());
+        let serial = Executor::new(2)
+            .run_stream(&mut serial_sched, &dag, &updates, fire_all(&dag))
+            .unwrap();
+        let stream: Vec<StreamUpdate> = updates
+            .iter()
+            .map(|u| StreamUpdate::now(u.clone()))
+            .collect();
+        let mut piped_sched = LevelBased::new(dag.clone());
+        let piped = Executor::new(2)
+            .run_stream_with(
+                &mut piped_sched,
+                &dag,
+                &stream,
+                infallible(fire_all(&dag)),
+                &StreamPolicy::pipelined(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(piped.updates, serial.updates);
+        assert_eq!(piped.executed, serial.executed);
+        assert_eq!(piped.batches, updates.len());
+        assert_eq!(piped.coalesced, 0);
+    }
+
+    /// Arrival times gate admission: an update scheduled in the future is
+    /// not driven early, and its sojourn latency excludes pre-arrival
+    /// time.
+    #[test]
+    fn stream_respects_arrival_times() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let updates = vec![
+            StreamUpdate::now(vec![NodeId(0)]),
+            StreamUpdate::at(vec![NodeId(0)], Duration::from_millis(30)),
+        ];
+        let t0 = Instant::now();
+        let report = Executor::new(2)
+            .run_stream_with(
+                &mut s,
+                &dag,
+                &updates,
+                infallible(fire_all(&dag)),
+                &StreamPolicy::pipelined(),
+                None,
+            )
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert_eq!(report.updates, 2);
+        // The late update's latency clock starts at its arrival, not at
+        // stream start: it cannot have waited ~30ms.
+        assert!(
+            report.latency_seconds[1] < 0.025,
+            "late update's sojourn {}s includes pre-arrival time",
+            report.latency_seconds[1]
+        );
     }
 
     // ---- fault tolerance ----
@@ -1852,6 +2297,80 @@ mod tests {
             calls.load(Ordering::SeqCst)
         );
         assert!(err.to_string().contains("update 1 failed"));
+        assert_eq!(err.failed_initial, vec![NodeId(0)]);
+        assert_eq!(err.failed_updates, 1);
+    }
+
+    /// PR 4 semantics per *coalesced* update: a panic mid-batch journals
+    /// the batch's committed executions; resuming the failed batch via
+    /// `run_fallible` replays them (no re-execution), and the stream
+    /// continues from the first update after the batch.
+    #[test]
+    fn coalesced_stream_failure_journals_and_resumes() {
+        quiet_panics();
+        let dag = diamond();
+        let exec = Executor::new(1); // deterministic commit order
+        let poisoned = Arc::new(AtomicBool::new(true));
+        let f: TaskFn = {
+            let dag = dag.clone();
+            let poisoned = poisoned.clone();
+            Arc::new(move |v, fired: &mut Vec<NodeId>| {
+                if v == NodeId(2) && poisoned.swap(false, Ordering::SeqCst) {
+                    panic!("injected mid-batch failure");
+                }
+                fired.extend_from_slice(dag.children(v));
+            })
+        };
+        let updates: Vec<StreamUpdate> = (0..8)
+            .map(|i| StreamUpdate::now(vec![NodeId(i % 2)]))
+            .collect();
+        let policy = StreamPolicy::coalesced(4);
+        let mut s = LevelBased::new(dag.clone());
+        let mut journal = UpdateJournal::new();
+        let err = exec
+            .run_stream_with(
+                &mut s,
+                &dag,
+                &updates,
+                infallible(f.clone()),
+                &policy,
+                Some(&mut journal),
+            )
+            .unwrap_err();
+        assert!(matches!(err.error, ExecError::TaskPanicked { node, .. } if node == NodeId(2)));
+        assert_eq!(err.completed.updates, 0, "first batch failed");
+        assert_eq!(err.failed_updates, 4, "batch had absorbed 4 updates");
+        assert_eq!(err.failed_initial, vec![NodeId(0), NodeId(1)]);
+        // Node 0's wavefront committed before the failure; completions of
+        // the failing wavefront depend on chunk order, but never node 2.
+        assert!(journal.contains(NodeId(0)));
+        assert!(!journal.contains(NodeId(2)), "failed task must not commit");
+        let committed = journal.len();
+        // Resume the failed batch: journaled nodes replay, the rest runs.
+        let resumed = exec
+            .run_fallible(
+                &mut s,
+                &dag,
+                &err.failed_initial,
+                infallible(f.clone()),
+                Some(&mut journal),
+            )
+            .unwrap();
+        assert_eq!(resumed.replayed, committed);
+        assert_eq!(
+            resumed.executed,
+            4 - committed,
+            "exactly the un-journaled nodes re-run"
+        );
+        assert!(journal.is_empty(), "committed batch clears the journal");
+        // Continue the stream after the failed batch's members.
+        let tail = &updates[err.completed.updates + err.failed_updates..];
+        let report = exec
+            .run_stream_with(&mut s, &dag, tail, infallible(f), &policy, Some(&mut journal))
+            .unwrap();
+        assert_eq!(report.updates, 4);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.executed, 4);
     }
 
     #[test]

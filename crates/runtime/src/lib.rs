@@ -25,7 +25,8 @@ pub mod executor;
 pub mod faults;
 
 pub use executor::{
-    CancelToken, ExecConfig, ExecError, ExecReport, ExecSnapshot, Executor, RetryPolicy,
-    StreamError, StreamReport, TaskFn, TaskOutcome, TryTaskFn, UpdateJournal,
+    infallible, CancelToken, ExecConfig, ExecError, ExecReport, ExecSnapshot, Executor,
+    RetryPolicy, StreamError, StreamPolicy, StreamReport, StreamUpdate, TaskFn, TaskOutcome,
+    TryTaskFn, UpdateJournal,
 };
 pub use faults::{Fault, FaultPlan};
