@@ -52,6 +52,46 @@ pub fn critical_path_over(dag: &Dag, weight: &[f64], member: impl Fn(NodeId) -> 
     max
 }
 
+/// Recover a concrete critical *chain* from observed task timings: walk
+/// back from the executed node that finished last, at each step moving to
+/// the executed parent with the latest finish time (the dependency that
+/// gated this node's start under a work-conserving executor). Returns the
+/// chain in execution order, empty if nothing was executed.
+///
+/// `end_us[v]` is the observed finish time of node `v` (ignored unless
+/// `executed(v)`). Unlike [`critical_path`], which bounds the span from
+/// static weights, this attributes a *measured* run: the chain's nodes
+/// plus the gaps between them partition the tail latency of the update.
+/// `O(V + E)` worst case, typically `O(chain · degree)`.
+pub fn critical_chain(dag: &Dag, end_us: &[f64], executed: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+    assert_eq!(end_us.len(), dag.node_count(), "one finish time per node");
+    let last = dag
+        .nodes()
+        .filter(|&v| executed(v))
+        .max_by(|&a, &b| end_us[a.index()].total_cmp(&end_us[b.index()]));
+    let Some(mut v) = last else {
+        return Vec::new();
+    };
+    let mut chain = vec![v];
+    loop {
+        let gate = dag
+            .parents(v)
+            .iter()
+            .copied()
+            .filter(|&p| executed(p))
+            .max_by(|&a, &b| end_us[a.index()].total_cmp(&end_us[b.index()]));
+        match gate {
+            Some(p) => {
+                chain.push(p);
+                v = p;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
 /// Total work of a subset (sum of weights), the `w` in every makespan bound.
 pub fn total_work(dag: &Dag, weight: &[f64], member: impl Fn(NodeId) -> bool) -> f64 {
     dag.nodes()
@@ -104,6 +144,37 @@ mod tests {
         // through zero-weight middle nodes.
         let c = critical_path_over(&d, &w, |v| v == NodeId(0) || v == NodeId(3));
         assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn chain_follows_latest_finishing_parent() {
+        let d = diamond();
+        // 0 finishes at 1, branch 1 at 2, branch 2 at 6 (the slow one),
+        // join 3 at 7: the chain that gated the makespan is 0 -> 2 -> 3.
+        let end = [1.0, 2.0, 6.0, 7.0];
+        let chain = critical_chain(&d, &end, |_| true);
+        assert_eq!(chain, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn chain_skips_unexecuted_nodes() {
+        let d = diamond();
+        let end = [1.0, 2.0, 6.0, 7.0];
+        // Node 2 was not part of the fired set: the walk must route
+        // through executed parents only.
+        let chain = critical_chain(&d, &end, |v| v != NodeId(2));
+        assert_eq!(chain, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(critical_chain(&d, &end, |_| false).is_empty());
+    }
+
+    #[test]
+    fn chain_hops_are_dag_edges() {
+        let d = diamond();
+        let end = [1.0, 5.0, 3.0, 9.0];
+        let chain = critical_chain(&d, &end, |_| true);
+        for w in chain.windows(2) {
+            assert!(d.parents(w[1]).contains(&w[0]));
+        }
     }
 
     #[test]

@@ -29,8 +29,25 @@ use crate::eval::{ensure_indices, rule_derives, seminaive_scc_opts, CRule, PinMo
 use crate::par::{collect_jobs, eval_pin_jobs, EvalOptions, PinJob};
 use crate::rel::{Database, PredId, Relation};
 use crate::value::Tuple;
+use incr_obs::flight::{self, FlightCode};
 use incr_obs::trace;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Adds elapsed nanoseconds to a named always-on counter when dropped —
+/// phase timing that survives early returns and needs no tracing.
+struct ScopeCounter {
+    counter: &'static str,
+    t0: Instant,
+}
+
+impl Drop for ScopeCounter {
+    fn drop(&mut self) {
+        incr_obs::registry()
+            .counter(self.counter)
+            .add(self.t0.elapsed().as_nanos() as u64);
+    }
+}
 
 /// Net change to one predicate's extent.
 #[derive(Clone, Debug, Default)]
@@ -157,7 +174,13 @@ pub fn update_scc_opts(
         .collect();
 
     // ---- Phase 1: overdeletion against the old view. ----
+    // Each DRed phase is triply accounted: a trace span (opt-in, rich),
+    // a flight-recorder span (always on, lands in black-box dumps), and
+    // an always-on phase-time counter (`datalog.dred.*_ns`) that the
+    // attribution and SLO layers read without tracing enabled.
     let dred_overdelete = trace::span("datalog", "dred.overdelete");
+    let mut overdelete_f = flight::span(FlightCode::DredOverdelete);
+    let overdelete_t0 = Instant::now();
     let mut deleted: HashMap<PredId, HashSet<Tuple>> =
         scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
     {
@@ -253,6 +276,11 @@ pub fn update_scc_opts(
         }
     }
     let overdeleted: usize = deleted.values().map(|s| s.len()).sum();
+    incr_obs::registry()
+        .counter("datalog.dred.overdelete_ns")
+        .add(overdelete_t0.elapsed().as_nanos() as u64);
+    overdelete_f.set_arg(overdeleted as u64);
+    drop(overdelete_f);
     dred_overdelete.end_args(vec![("overdeleted", (overdeleted as u64).into())]);
 
     // ---- Phase 2: rederive overdeleted tuples with other derivations. ----
@@ -261,6 +289,8 @@ pub fn update_scc_opts(
     // Candidate lists fan out across the pool; rounds iterate because one
     // reinstated tuple can support another's alternative derivation.
     let dred_rederive = trace::span("datalog", "dred.rederive");
+    let mut rederive_f = flight::span(FlightCode::DredRederive);
+    let rederive_t0 = Instant::now();
     let mut seed: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
     {
         let mut rules_by_head: HashMap<PredId, Vec<&CRule>> = HashMap::new();
@@ -319,6 +349,11 @@ pub fn update_scc_opts(
         }
     }
     let rederived_total: usize = seed.values().map(|s| s.len()).sum();
+    incr_obs::registry()
+        .counter("datalog.dred.rederive_ns")
+        .add(rederive_t0.elapsed().as_nanos() as u64);
+    rederive_f.set_arg(rederived_total as u64);
+    drop(rederive_f);
     dred_rederive.end_args(vec![("rederived", (rederived_total as u64).into())]);
 
     // ---- Phase 3: insertions (added inputs + removed blockers). ----
@@ -326,6 +361,8 @@ pub fn update_scc_opts(
     // insertion enables through a clique predicate is picked up by the
     // semi-naive rounds below (the seed carries every insert).
     let dred_insert = trace::span("datalog", "dred.insert");
+    let mut insert_f = flight::span(FlightCode::DredInsert);
+    let insert_t0 = Instant::now();
     {
         let mut jobs: Vec<PinJob<'_>> = Vec::new();
         for rule in rules {
@@ -372,6 +409,11 @@ pub fn update_scc_opts(
     if !seed.is_empty() {
         seminaive_scc_opts(db, rules, scc_preds, seed, false, opts);
     }
+    incr_obs::registry()
+        .counter("datalog.dred.insert_ns")
+        .add(insert_t0.elapsed().as_nanos() as u64);
+    insert_f.set_arg(inserted_seed as u64);
+    drop(insert_f);
     dred_insert.end_args(vec![("seed_inserts", (inserted_seed as u64).into())]);
 
     // ---- Net output delta: exact old-vs-new diff. ----
@@ -403,6 +445,12 @@ pub fn reevaluate_scc_opts(
         "clique.reevaluate",
         vec![("preds", scc_preds.len().into())],
     );
+    let _fspan = flight::span_arg(FlightCode::Reevaluate, scc_preds.len() as u64);
+    let reeval_t0 = Instant::now();
+    let _reeval_timer = ScopeCounter {
+        counter: "datalog.dred.reevaluate_ns",
+        t0: reeval_t0,
+    };
     let old_scc: HashMap<PredId, Relation> = scc_preds
         .iter()
         .map(|&p| (p, db.rel(p).clone()))

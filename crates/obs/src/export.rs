@@ -128,6 +128,21 @@ pub fn chrome_trace_json(threads: &[ThreadEvents]) -> String {
     chrome_trace(threads).to_json()
 }
 
+/// Like [`chrome_trace`], with extra pre-built events appended to
+/// `traceEvents` — used by `dlsched explain` to add critical-path flow
+/// annotations (`ph: "s"/"f"`) alongside the recorded spans.
+pub fn chrome_trace_with(threads: &[ThreadEvents], extra: Vec<Json>) -> Json {
+    let mut doc = chrome_trace(threads);
+    if let Json::Obj(fields) = &mut doc {
+        if let Some((_, Json::Arr(events))) =
+            fields.iter_mut().find(|(k, _)| k == "traceEvents")
+        {
+            events.extend(extra);
+        }
+    }
+    doc
+}
+
 /// Flat JSONL: one event object per line, in shard order. Suited to
 /// `grep`/`jq`-style postprocessing rather than timeline UIs.
 pub fn jsonl(threads: &[ThreadEvents]) -> String {
@@ -149,6 +164,8 @@ pub struct TraceStats {
     pub spans: usize,
     pub counters: usize,
     pub instants: usize,
+    /// Flow events (`s`/`t`/`f` — critical-path annotations).
+    pub flows: usize,
     /// Distinct categories seen on non-metadata events.
     pub categories: Vec<String>,
 }
@@ -226,6 +243,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             }
             "C" => stats.counters += 1,
             "i" => stats.instants += 1,
+            "s" | "t" | "f" => {
+                // Flow events bind to an enclosing slice by (pid, tid,
+                // ts); structurally they only need an id to pair up.
+                if e.get("id").and_then(Json::as_u64).is_none() {
+                    return Err(format!("event {i}: flow event without id"));
+                }
+                stats.flows += 1;
+            }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
     }
@@ -323,6 +348,39 @@ mod tests {
         let orphan_end = threads(vec![ev(Phase::End, 5.0, Track::Real { tid: 0 })]);
         let err = validate_chrome_trace(&chrome_trace_json(&orphan_end)).unwrap_err();
         assert!(err.contains("without matching"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_flow_events_and_requires_id() {
+        let t = threads(vec![
+            ev(Phase::Begin, 1.0, Track::Real { tid: 0 }),
+            ev(Phase::End, 3.0, Track::Real { tid: 0 }),
+        ]);
+        let flow = |ph: &str, ts: f64, id: Option<u64>| {
+            let mut fields = vec![
+                ("name".to_string(), Json::Str("cp".into())),
+                ("cat".to_string(), Json::Str("flow".into())),
+                ("ph".to_string(), Json::Str(ph.into())),
+                ("ts".to_string(), Json::Num(ts)),
+                ("pid".to_string(), 1u64.into()),
+                ("tid".to_string(), 7u64.into()),
+            ];
+            if let Some(id) = id {
+                fields.push(("id".to_string(), id.into()));
+            }
+            Json::Obj(fields)
+        };
+        let doc = chrome_trace_with(
+            &t,
+            vec![flow("s", 1.5, Some(1)), flow("f", 2.5, Some(1))],
+        );
+        let stats = validate_chrome_trace(&doc.to_json()).unwrap();
+        assert_eq!(stats.flows, 2);
+        assert_eq!(stats.spans, 1);
+
+        let bad = chrome_trace_with(&t, vec![flow("s", 1.5, None)]);
+        let err = validate_chrome_trace(&bad.to_json()).unwrap_err();
+        assert!(err.contains("without id"), "{err}");
     }
 
     #[test]

@@ -31,31 +31,52 @@ impl Counter {
     }
 }
 
-/// Instantaneous level (queue depth, frontier index, …) tracking its peak.
+/// Instantaneous level (queue depth, frontier index, …) tracking two
+/// peaks: a *window* peak that instrumentation resets at update
+/// boundaries ([`Gauge::reset_peak`] / [`Registry::reset_gauge_peaks`]),
+/// and a process-lifetime peak that never resets. Per-update snapshots
+/// read `peak`; capacity planning reads `lifetime_peak`.
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,
     peak: AtomicI64,
+    lifetime_peak: AtomicI64,
 }
 
 impl Gauge {
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
         self.peak.fetch_max(v, Ordering::Relaxed);
+        self.lifetime_peak.fetch_max(v, Ordering::Relaxed);
     }
 
     pub fn add(&self, delta: i64) {
         let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
         self.peak.fetch_max(v, Ordering::Relaxed);
+        self.lifetime_peak.fetch_max(v, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 
-    /// Highest value ever `set`/`add`-ed (0 if never above zero).
+    /// Highest value since the last [`Gauge::reset_peak`] (0 if never
+    /// above zero in the window).
     pub fn peak(&self) -> i64 {
         self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Highest value over the process lifetime; never reset by window
+    /// boundaries (only by [`Registry::reset`]).
+    pub fn lifetime_peak(&self) -> i64 {
+        self.lifetime_peak.load(Ordering::Relaxed)
+    }
+
+    /// Start a new peak window: the peak restarts from the *current*
+    /// level (a backlog present at the boundary is still this window's
+    /// floor), not from zero.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.get(), Ordering::Relaxed);
     }
 }
 
@@ -104,6 +125,25 @@ impl Histogram {
         }
     }
 
+    /// Non-empty buckets as `(upper_bound, count)` pairs in ascending
+    /// bound order. The order is a function of the bucket layout alone —
+    /// never of recording or merge order across worker threads — so JSON
+    /// exports embedding it are byte-stable run to run for equal counts.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((bucket_bound(i), n))
+                }
+            })
+            .collect()
+    }
+
     /// Upper bound of the bucket containing quantile `q` (0..=1) — a
     /// factor-of-two estimate, which is enough to spot tail blow-ups.
     pub fn quantile_bound(&self, q: f64) -> u64 {
@@ -116,10 +156,19 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target.max(1) {
-                return if i == 0 { 0 } else { 1u64 << i };
+                return bucket_bound(i);
             }
         }
         u64::MAX
+    }
+}
+
+/// Upper bound of log₂ bucket `i` (the top bucket is unbounded).
+fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => 1u64 << i,
+        _ => u64::MAX,
     }
 }
 
@@ -165,7 +214,11 @@ impl Registry {
     }
 
     /// One JSON object per metric kind: counters as totals, gauges as
-    /// `{current, peak}`, histograms as `{count, sum, mean, p50, p99}`.
+    /// `{current, peak, lifetime_peak}`, histograms as summary stats
+    /// plus their non-empty buckets in ascending-bound (deterministic)
+    /// order. Map keys are BTreeMap-sorted, so two snapshots with equal
+    /// metric values serialize to identical bytes regardless of thread
+    /// interleaving.
     pub fn snapshot(&self) -> Json {
         let counters: Vec<(String, Json)> = self
             .counters
@@ -182,7 +235,11 @@ impl Registry {
             .map(|(k, g)| {
                 (
                     k.clone(),
-                    obj([("current", g.get().into()), ("peak", g.peak().into())]),
+                    obj([
+                        ("current", g.get().into()),
+                        ("peak", g.peak().into()),
+                        ("lifetime_peak", g.lifetime_peak().into()),
+                    ]),
                 )
             })
             .collect();
@@ -192,6 +249,11 @@ impl Registry {
             .unwrap()
             .iter()
             .map(|(k, h)| {
+                let buckets: Vec<Json> = h
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(bound, n)| Json::Arr(vec![bound.into(), n.into()]))
+                    .collect();
                 (
                     k.clone(),
                     obj([
@@ -199,7 +261,9 @@ impl Registry {
                         ("sum", h.sum().into()),
                         ("mean", h.mean().into()),
                         ("p50_bound", h.quantile_bound(0.5).into()),
+                        ("p95_bound", h.quantile_bound(0.95).into()),
                         ("p99_bound", h.quantile_bound(0.99).into()),
+                        ("buckets", Json::Arr(buckets)),
                     ]),
                 )
             })
@@ -211,6 +275,15 @@ impl Registry {
         ])
     }
 
+    /// Start a new peak window on every gauge (called by the executor at
+    /// update boundaries so per-update snapshots report per-update peaks,
+    /// not process-lifetime ones).
+    pub fn reset_gauge_peaks(&self) {
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset_peak();
+        }
+    }
+
     /// Reset every registered metric to zero (between bench repetitions).
     pub fn reset(&self) {
         for c in self.counters.lock().unwrap().values() {
@@ -219,6 +292,7 @@ impl Registry {
         for g in self.gauges.lock().unwrap().values() {
             g.value.store(0, Ordering::Relaxed);
             g.peak.store(0, Ordering::Relaxed);
+            g.lifetime_peak.store(0, Ordering::Relaxed);
         }
         let hists = self.histograms.lock().unwrap();
         for h in hists.values() {
@@ -293,6 +367,76 @@ mod tests {
         assert_eq!(r.counter("a").get(), 0);
         assert_eq!(r.gauge("b").peak(), 0);
         assert_eq!(r.histogram("c").count(), 0);
+    }
+
+    #[test]
+    fn gauge_peak_resets_per_window_but_lifetime_survives() {
+        let r = Registry::new();
+        let g = r.gauge("exec.queue_depth");
+        // "Update 1" spikes to 50, drains to 3.
+        g.set(50);
+        g.set(3);
+        assert_eq!(g.peak(), 50);
+        // Update boundary: the window peak restarts from the current
+        // level, not from zero and not from the old spike.
+        r.reset_gauge_peaks();
+        assert_eq!(g.peak(), 3, "window peak must restart at current level");
+        assert_eq!(g.lifetime_peak(), 50, "lifetime peak must survive");
+        // "Update 2" only reaches 7 — its snapshot peak must be 7, not
+        // the process-lifetime 50 (the original regression).
+        g.set(7);
+        g.set(0);
+        assert_eq!(g.peak(), 7);
+        assert_eq!(g.lifetime_peak(), 50);
+        let snap = r.snapshot();
+        let gj = snap.get("gauges").unwrap().get("exec.queue_depth").unwrap();
+        assert_eq!(gj.get("peak").unwrap().as_u64(), Some(7));
+        assert_eq!(gj.get("lifetime_peak").unwrap().as_u64(), Some(50));
+        // Full reset clears all three.
+        r.reset();
+        assert_eq!(g.lifetime_peak(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_export_is_interleaving_independent() {
+        let samples: Vec<u64> = (0..4096u64).map(|i| (i * 2654435761) % 100_000).collect();
+        // Same multiset of samples recorded under two very different
+        // thread interleavings must export identical JSON.
+        let run = |threads: usize| -> String {
+            let r = Arc::new(Registry::new());
+            let chunk = samples.len() / threads;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let r = r.clone();
+                    let part: Vec<u64> =
+                        samples[t * chunk..(t + 1) * chunk].to_vec();
+                    std::thread::spawn(move || {
+                        let h = r.histogram("exec.task_ns");
+                        for v in part {
+                            h.record(v);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            r.snapshot().to_json()
+        };
+        assert_eq!(run(1), run(8), "histogram export must be deterministic");
+        // And bucket bounds come out ascending.
+        let r = Registry::new();
+        let h = r.histogram("x");
+        for v in [70_000u64, 3, 0, 900] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|b| b.1).sum::<u64>(), 4);
+        // Top bucket is representable (no shift overflow).
+        h.record(u64::MAX);
+        assert_eq!(h.nonzero_buckets().last().unwrap().0, u64::MAX);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Rolling-window SLO tracking for stream sojourn latency.
+//!
+//! The stream path promises each admitted update a sojourn bound
+//! (`StreamPolicy::latency_budget`). This module keeps an always-on,
+//! lock-free rolling window of recent sojourn samples and derives the
+//! signals a front door needs for admission control:
+//!
+//! * windowed p50/p95/p99/max sojourn (exact over the window — the
+//!   window is a few thousand samples, sorted only at snapshot time);
+//! * a **burn rate**: the fraction of the window over budget. A burn
+//!   rate near 0 means the budget is comfortable; sustained burn near 1
+//!   means the stream is eating its error budget and admission should
+//!   back off.
+//!
+//! Recording is three relaxed atomic ops; snapshots copy and sort the
+//! window (cold path: periodic export, `dlsched top` repaints).
+
+use crate::json::{obj, Json};
+use crate::metrics::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Default rolling-window size (samples).
+pub const DEFAULT_WINDOW: usize = 1024;
+
+/// Lock-free rolling window of sojourn samples plus budget accounting.
+pub struct SloTracker {
+    /// Latency budget in ns; 0 means "no budget set".
+    budget_ns: AtomicU64,
+    samples: Box<[AtomicU64]>,
+    /// Total samples ever recorded (window writes wrap modulo len).
+    head: AtomicU64,
+    /// Total samples ever over budget.
+    over_total: AtomicU64,
+}
+
+impl SloTracker {
+    pub fn new(window: usize) -> SloTracker {
+        SloTracker {
+            budget_ns: AtomicU64::new(0),
+            samples: (0..window.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+            over_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the budget (ns). Zero disables over-budget accounting.
+    pub fn set_budget_ns(&self, budget_ns: u64) {
+        self.budget_ns.store(budget_ns, Ordering::Relaxed);
+    }
+
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record one sojourn sample. Returns whether it blew the budget.
+    pub fn record(&self, sojourn_ns: u64) -> bool {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) as usize;
+        self.samples[i % self.samples.len()].store(sojourn_ns, Ordering::Relaxed);
+        let budget = self.budget_ns();
+        let over = budget > 0 && sojourn_ns > budget;
+        if over {
+            self.over_total.fetch_add(1, Ordering::Relaxed);
+        }
+        over
+    }
+
+    /// Total samples ever recorded.
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Total samples ever over budget.
+    pub fn over_budget_total(&self) -> u64 {
+        self.over_total.load(Ordering::Relaxed)
+    }
+
+    /// Forget everything (bench/test isolation).
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        self.over_total.store(0, Ordering::Relaxed);
+        for s in self.samples.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy + sort the current window and derive percentiles/burn rate.
+    /// Concurrent writers may tear individual slots (a sample from two
+    /// different updates); percentiles over a rolling window are
+    /// statistical by nature, so that is acceptable.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let total = self.total();
+        let n = (total as usize).min(self.samples.len());
+        let mut window: Vec<u64> = self.samples[..n]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        window.sort_unstable();
+        let budget = self.budget_ns();
+        let over_in_window = if budget > 0 {
+            // sorted: count of samples strictly above budget
+            window.len() - window.partition_point(|&v| v <= budget)
+        } else {
+            0
+        };
+        let pct = |q: f64| -> u64 {
+            if window.is_empty() {
+                0
+            } else {
+                let idx = ((q * window.len() as f64).ceil() as usize).max(1) - 1;
+                window[idx.min(window.len() - 1)]
+            }
+        };
+        SloSnapshot {
+            total,
+            over_budget_total: self.over_budget_total(),
+            window_len: window.len(),
+            window_over_budget: over_in_window as u64,
+            burn_rate: if window.is_empty() {
+                0.0
+            } else {
+                over_in_window as f64 / window.len() as f64
+            },
+            budget_ns: budget,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: window.last().copied().unwrap_or(0),
+            mean_ns: if window.is_empty() {
+                0.0
+            } else {
+                window.iter().sum::<u64>() as f64 / window.len() as f64
+            },
+        }
+    }
+}
+
+/// A point-in-time SLO reading over the rolling window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSnapshot {
+    pub total: u64,
+    pub over_budget_total: u64,
+    pub window_len: usize,
+    pub window_over_budget: u64,
+    /// Fraction of the window over budget, 0..=1 (0 when no budget).
+    pub burn_rate: f64,
+    pub budget_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl SloSnapshot {
+    /// Machine-readable form (`stream.slo.*` export).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("total", self.total.into()),
+            ("over_budget_total", self.over_budget_total.into()),
+            ("window_len", self.window_len.into()),
+            ("window_over_budget", self.window_over_budget.into()),
+            ("burn_rate", self.burn_rate.into()),
+            ("budget_ns", self.budget_ns.into()),
+            ("p50_ns", self.p50_ns.into()),
+            ("p95_ns", self.p95_ns.into()),
+            ("p99_ns", self.p99_ns.into()),
+            ("max_ns", self.max_ns.into()),
+            ("mean_ns", self.mean_ns.into()),
+        ])
+    }
+
+    /// Publish into a registry as `stream.slo.*` gauges (µs / percent),
+    /// so registry snapshots and `dlsched top` see the latest reading.
+    pub fn publish(&self, registry: &Registry) {
+        registry
+            .gauge("stream.slo.p50_us")
+            .set((self.p50_ns / 1_000) as i64);
+        registry
+            .gauge("stream.slo.p95_us")
+            .set((self.p95_ns / 1_000) as i64);
+        registry
+            .gauge("stream.slo.p99_us")
+            .set((self.p99_ns / 1_000) as i64);
+        registry
+            .gauge("stream.slo.burn_pct")
+            .set((self.burn_rate * 100.0).round() as i64);
+        registry
+            .gauge("stream.slo.budget_us")
+            .set((self.budget_ns / 1_000) as i64);
+    }
+}
+
+/// The process-global stream SLO tracker, fed by the executor's stream
+/// loop and read by exporters and `dlsched top`.
+pub fn stream_tracker() -> &'static SloTracker {
+    static TRACKER: OnceLock<SloTracker> = OnceLock::new();
+    TRACKER.get_or_init(|| SloTracker::new(DEFAULT_WINDOW))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let t = SloTracker::new(100);
+        for v in 1..=100u64 {
+            t.record(v * 1_000);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.window_len, 100);
+        assert_eq!(s.p50_ns, 50_000);
+        assert_eq!(s.p95_ns, 95_000);
+        assert_eq!(s.p99_ns, 99_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert!((s.mean_ns - 50_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn burn_rate_tracks_budget_violations() {
+        let t = SloTracker::new(10);
+        t.set_budget_ns(5_000);
+        for v in [1_000u64, 2_000, 3_000, 6_000, 7_000] {
+            t.record(v);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.window_over_budget, 2);
+        assert_eq!(s.over_budget_total, 2);
+        assert!((s.burn_rate - 0.4).abs() < 1e-9);
+        // No budget -> no burn.
+        let free = SloTracker::new(10);
+        free.record(1_000_000);
+        assert_eq!(free.snapshot().burn_rate, 0.0);
+    }
+
+    #[test]
+    fn window_wraps_and_keeps_recent_shape() {
+        let t = SloTracker::new(8);
+        for _ in 0..100 {
+            t.record(1_000);
+        }
+        for _ in 0..8 {
+            t.record(9_000);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.total, 108);
+        assert_eq!(s.window_len, 8);
+        assert_eq!(s.p50_ns, 9_000, "window must reflect only recent samples");
+    }
+
+    #[test]
+    fn snapshot_json_and_publish() {
+        let t = SloTracker::new(16);
+        t.set_budget_ns(2_000_000);
+        t.record(1_000_000);
+        t.record(3_000_000);
+        let s = t.snapshot();
+        let json = s.to_json();
+        let back = Json::parse(&json.to_json()).unwrap();
+        assert_eq!(back.get("window_len").unwrap().as_u64(), Some(2));
+        assert_eq!(back.get("window_over_budget").unwrap().as_u64(), Some(1));
+        let r = Registry::new();
+        s.publish(&r);
+        assert_eq!(r.gauge("stream.slo.p99_us").get(), 3_000);
+        assert_eq!(r.gauge("stream.slo.burn_pct").get(), 50);
+        assert_eq!(r.gauge("stream.slo.budget_us").get(), 2_000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = std::sync::Arc::new(SloTracker::new(64));
+        t.set_budget_ns(1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for v in 0..10_000u64 {
+                    t.record(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.total(), 40_000);
+        let s = t.snapshot();
+        assert_eq!(s.window_len, 64);
+    }
+}

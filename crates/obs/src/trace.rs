@@ -199,11 +199,13 @@ pub fn record(event: Event) {
     }
 }
 
-/// Name the current thread's track in exported traces.
+/// Name the current thread's track in exported traces, and its flight-
+/// recorder lane in black-box dumps (one call names both).
 pub fn set_thread_name(name: &str) {
     with_shard(|shard| {
         *shard.name.lock().unwrap() = Some(name.to_string());
     });
+    crate::flight::set_thread_name(name);
 }
 
 /// RAII span on the current thread's real-time track. Construct via

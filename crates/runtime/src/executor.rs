@@ -69,10 +69,12 @@
 
 use crossbeam::channel::{self, RecvTimeoutError};
 use incr_dag::{Dag, NodeId};
-use incr_obs::trace;
+use incr_obs::flight::{self, FlightCode};
+use incr_obs::{trace, Json};
 use incr_sched::{ActivationCoalescer, CompletionBatch, Scheduler};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -269,6 +271,21 @@ impl fmt::Display for ExecError {
     }
 }
 
+impl ExecError {
+    /// Short machine-readable label — black-box dump filenames and the
+    /// `kind` field of their context record.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::Stall { .. } => "stall",
+            ExecError::NonEdge { .. } => "non-edge",
+            ExecError::TaskPanicked { .. } => "panic",
+            ExecError::TaskFailed { .. } => "task-failed",
+            ExecError::Timeout { .. } => "timeout",
+            ExecError::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
 impl std::error::Error for ExecError {}
 
 /// A mid-stream failure from [`Executor::run_stream`] /
@@ -421,6 +438,26 @@ pub struct ExecConfig {
     /// How long the error path waits for in-flight completions while
     /// draining the pipeline before giving up on stragglers.
     pub drain_grace: Duration,
+    /// Where flight-recorder black boxes land when a run returns
+    /// [`ExecError`]. Defaults from `INCR_BLACKBOX_DIR` (set it to `off`
+    /// or empty to disable), falling back to `results/blackbox`. `None`
+    /// disables dump-on-error entirely.
+    pub black_box: Option<PathBuf>,
+    /// Record one trace span per executed task (name `task`, arg `node`)
+    /// when tracing is enabled — the input `dlsched explain`'s
+    /// critical-path analyzer needs. Off by default: per-task spans on
+    /// large updates dominate trace volume.
+    pub record_tasks: bool,
+}
+
+/// Default black-box directory: the `INCR_BLACKBOX_DIR` environment
+/// variable if set (empty/`0`/`off` disables), else `results/blackbox`.
+pub fn default_black_box_dir() -> Option<PathBuf> {
+    match std::env::var("INCR_BLACKBOX_DIR") {
+        Ok(v) if v.is_empty() || v == "0" || v == "off" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(PathBuf::from("results/blackbox")),
+    }
 }
 
 impl ExecConfig {
@@ -437,6 +474,8 @@ impl ExecConfig {
             cancel: None,
             join_grace: Duration::from_secs(5),
             drain_grace: Duration::from_secs(5),
+            black_box: default_black_box_dir(),
+            record_tasks: false,
         }
     }
 }
@@ -708,7 +747,13 @@ impl Executor {
                 None,
             )
         });
-        let stats = result?;
+        let stats = match result {
+            Ok(stats) => stats,
+            Err(error) => {
+                black_box_dump(&self.cfg, &error, scheduler.name());
+                return Err(error);
+            }
+        };
         if let Some(j) = journal {
             j.clear();
         }
@@ -802,6 +847,13 @@ impl Executor {
         let depth_gauge = registry.gauge("stream.queue_depth");
         let coalesced_counter = registry.counter("stream.coalesced");
         let latency_hist = registry.histogram("stream.update_latency_ns");
+        // SLO tracking: every member's sojourn feeds the rolling window;
+        // the derived p50/p95/p99 + burn rate publish as `stream.slo.*`
+        // gauges every SLO_PUBLISH_EVERY batches (and once at the end).
+        let slo = incr_obs::slo::stream_tracker();
+        slo.set_budget_ns(policy.latency_budget.as_nanos() as u64);
+        let slo_samples = registry.counter("stream.slo.samples");
+        let slo_over = registry.counter("stream.slo.over_budget");
 
         let result = self.with_pool(&task, |pipes, ready| {
             let mut adm = Admission::new(updates, t0, policy, dag.node_count(), depth_gauge.clone());
@@ -820,6 +872,10 @@ impl Executor {
                 adm.dwell();
                 let (members, initial) = adm.take_staged();
                 batches += 1;
+                if flight::enabled() {
+                    flight::instant(FlightCode::StreamAdmit, members.len() as u64);
+                    flight::counter(FlightCode::StreamDepth, depth_gauge.get() as f64);
+                }
                 if members.len() > 1 {
                     coalesced += members.len();
                     coalesced_counter.add(members.len() as u64);
@@ -854,7 +910,15 @@ impl Executor {
                             let sojourn = done_at.saturating_sub(updates[idx].after);
                             update_seconds.push(dur);
                             latency_seconds.push(sojourn.as_secs_f64());
-                            latency_hist.record(sojourn.as_nanos() as u64);
+                            let sojourn_ns = sojourn.as_nanos() as u64;
+                            latency_hist.record(sojourn_ns);
+                            slo_samples.inc();
+                            if slo.record(sojourn_ns) {
+                                slo_over.inc();
+                            }
+                        }
+                        if batches.is_multiple_of(SLO_PUBLISH_EVERY) {
+                            publish_slo(slo, registry);
                         }
                         adm.recycle(members, initial);
                     }
@@ -869,6 +933,9 @@ impl Executor {
         });
         let wall = t0.elapsed();
         record_occupancy(wall.as_nanos() as u64, wait_ns);
+        if batches > 0 {
+            publish_slo(slo, registry);
+        }
         let report = StreamReport {
             updates: latency_seconds.len(),
             executed,
@@ -883,12 +950,15 @@ impl Executor {
             Ok(()) => Ok(report),
             // Boxed: the error path is cold and the payload (full report +
             // merged initial set) would otherwise dominate the Ok size.
-            Err(error) => Err(Box::new(StreamError {
-                error,
-                completed: report,
-                failed_initial,
-                failed_updates,
-            })),
+            Err(error) => {
+                black_box_dump(&self.cfg, &error, scheduler.name());
+                Err(Box::new(StreamError {
+                    error,
+                    completed: report,
+                    failed_initial,
+                    failed_updates,
+                }))
+            }
         }
     }
 
@@ -918,9 +988,21 @@ impl Executor {
             let chunk_back_tx = chunk_back_tx.clone();
             let task = task.clone();
             let retry = self.cfg.retry.clone();
+            let record_tasks = self.cfg.record_tasks;
             let handle = std::thread::Builder::new()
                 .name(format!("incr-worker-{i}"))
-                .spawn(move || worker_loop(i, work_rx, done_tx, batch_back_rx, chunk_back_tx, task, retry))
+                .spawn(move || {
+                    worker_loop(
+                        i,
+                        work_rx,
+                        done_tx,
+                        batch_back_rx,
+                        chunk_back_tx,
+                        task,
+                        retry,
+                        record_tasks,
+                    )
+                })
                 .expect("spawn worker thread");
             handles.push(handle);
         }
@@ -928,9 +1010,9 @@ impl Executor {
         drop(batch_back_rx);
         drop(chunk_back_tx);
 
-        if trace::enabled() {
-            trace::set_thread_name("executor-coordinator");
-        }
+        // Unconditional: names both the trace track and the flight lane,
+        // and the flight recorder is always on.
+        trace::set_thread_name("executor-coordinator");
         let pipes = Pipes {
             work_tx,
             work_steal: work_rx,
@@ -1005,9 +1087,7 @@ impl Executor {
             let handle = std::thread::Builder::new()
                 .name(format!("incr-worker-{i}"))
                 .spawn(move || {
-                    if trace::enabled() {
-                        trace::set_thread_name(&format!("worker-{i}"));
-                    }
+                    trace::set_thread_name(&format!("worker-{i}"));
                     loop {
                         let idle = trace::span("exec", "worker.idle");
                         let Ok(node) = work_rx.recv() else { break };
@@ -1028,9 +1108,7 @@ impl Executor {
         drop(work_rx);
         drop(done_tx);
 
-        if trace::enabled() {
-            trace::set_thread_name("executor-coordinator");
-        }
+        trace::set_thread_name("executor-coordinator");
         let mut in_flight = 0usize;
         let result = 'drive: loop {
             if let Some(tok) = &self.cfg.cancel {
@@ -1109,7 +1187,10 @@ impl Executor {
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
-        result?;
+        if let Err(error) = result {
+            black_box_dump(&self.cfg, &error, scheduler.name());
+            return Err(error);
+        }
         Ok(finish_report(
             DriveStats {
                 executed,
@@ -1148,9 +1229,11 @@ fn run_one(
                 fired.truncate(mark);
                 if attempts >= retry.max_attempts {
                     incr_obs::registry().counter("exec.task_failures").inc();
+                    flight::instant(FlightCode::TaskFail, node.index() as u64);
                     return Err(TaskError::Exhausted { attempts });
                 }
                 incr_obs::registry().counter("exec.retries").inc();
+                flight::instant(FlightCode::TaskRetry, node.index() as u64);
                 let delay = retry.delay(attempts - 1);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
@@ -1159,6 +1242,7 @@ fn run_one(
             Err(payload) => {
                 fired.truncate(mark);
                 incr_obs::registry().counter("exec.task_failures").inc();
+                flight::instant(FlightCode::TaskFail, node.index() as u64);
                 return Err(TaskError::Panicked(panic_message(payload)));
             }
         }
@@ -1180,6 +1264,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// batch (panic-isolated, retried), flush the batch whole. On a task
 /// failure, the completions committed so far travel back *with* the
 /// failure so the coordinator can account for every execution.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     i: usize,
     work_rx: channel::Receiver<WorkMsg>,
@@ -1188,10 +1273,12 @@ fn worker_loop(
     chunk_back_tx: channel::Sender<Vec<NodeId>>,
     task: TryTaskFn,
     retry: RetryPolicy,
+    record_tasks: bool,
 ) {
-    if trace::enabled() {
-        trace::set_thread_name(&format!("worker-{i}"));
-    }
+    trace::set_thread_name(&format!("worker-{i}"));
+    // Cached handle: worker occupancy is always-on (one relaxed add per
+    // chunk), feeding `dlsched top`'s occupancy column.
+    let busy_ns = incr_obs::registry().counter("exec.worker_busy_ns");
     loop {
         let idle = trace::span("exec", "worker.idle");
         let msg = work_rx.recv();
@@ -1208,9 +1295,16 @@ fn worker_loop(
                 vec![("tasks", chunk.len().into())],
             )
         });
+        let fspan = flight::span_arg(FlightCode::ChunkRun, chunk.len() as u64);
+        let c0 = Instant::now();
         let mut failure: Option<(NodeId, usize, TaskError)> = None;
         for (pos, &node) in chunk.iter().enumerate() {
-            match run_one(&task, node, batch.fired_buf(), &retry) {
+            let tspan = (record_tasks && trace::enabled()).then(|| {
+                trace::span_with("exec", "task", vec![("node", node.index().into())])
+            });
+            let outcome = run_one(&task, node, batch.fired_buf(), &retry);
+            drop(tspan);
+            match outcome {
                 Ok(()) => batch.commit(node),
                 Err(err) => {
                     failure = Some((node, chunk.len() - pos - 1, err));
@@ -1218,6 +1312,8 @@ fn worker_loop(
                 }
             }
         }
+        busy_ns.add(c0.elapsed().as_nanos() as u64);
+        drop(fspan);
         drop(span);
         chunk.clear();
         let _ = chunk_back_tx.send(chunk);
@@ -1377,6 +1473,14 @@ impl DriveState<'_> {
         batch: &CompletionBatch,
         validate: bool,
     ) -> Result<(), ExecError> {
+        let _fspan = flight::span_arg(FlightCode::Commit, batch.len() as u64);
+        let _tspan = trace::enabled().then(|| {
+            trace::span_with(
+                "exec",
+                "exec.commit",
+                vec![("completions", batch.len().into())],
+            )
+        });
         // Flight accounting happens even for an invalid batch — the
         // error-path drain must still observe in_flight reach zero.
         self.in_flight -= batch.len();
@@ -1472,6 +1576,17 @@ fn drive_update(
     journal: Option<&mut UpdateJournal>,
     mut overlap: Option<&mut dyn FnMut()>,
 ) -> Result<DriveStats, ExecError> {
+    // Update boundary: per-update gauge peaks start a fresh window, so a
+    // snapshot taken after this update reports *its* peaks, not the
+    // highest value any update ever reached.
+    let registry = incr_obs::registry();
+    registry.reset_gauge_peaks();
+    let queue_gauge = registry.gauge("exec.queue_depth");
+    let inflight_gauge = registry.gauge("exec.in_flight");
+    let mut fspan = flight::span_arg(FlightCode::UpdateRun, 0);
+    let mut tspan = trace::enabled().then(|| {
+        trace::span_with("exec", "exec.update", vec![("initial", initial.len().into())])
+    });
     scheduler.start(initial);
     let t0 = Instant::now();
     let deadline = cfg.deadline.map(|d| t0 + d);
@@ -1498,6 +1613,7 @@ fn drive_update(
             if scheduler.pop_batch(ready, cfg.batch_max) == 0 {
                 break;
             }
+            flight::instant(FlightCode::PopBatch, ready.len() as u64);
             if resuming {
                 // Completions committed by the failed attempt replay from
                 // the journal instead of re-executing.
@@ -1522,15 +1638,28 @@ fn drive_update(
             }
             if !replay_batch.is_empty() {
                 st.stats.replayed += replay_batch.len();
+                flight::instant(FlightCode::JournalReplay, replay_batch.len() as u64);
                 scheduler.complete_batch(&replay_batch);
                 replay_batch.clear();
             }
+        }
+        // Always-on wavefront depth signals: registry gauges (windowed
+        // peaks reset above) plus flight-recorder counter samples.
+        inflight_gauge.set(st.in_flight as i64);
+        queue_gauge.set(pipes.work_steal.len() as i64);
+        if flight::enabled() {
+            flight::counter(FlightCode::InFlight, st.in_flight as f64);
+            flight::counter(FlightCode::QueueDepth, pipes.work_steal.len() as f64);
         }
         if trace::enabled() {
             trace::counter("exec", "exec.in_flight", st.in_flight as f64);
         }
         if st.in_flight == 0 {
             if scheduler.is_quiescent() {
+                fspan.set_arg(st.stats.executed as u64);
+                if let Some(span) = tspan.take() {
+                    span.end_args(vec![("executed", st.stats.executed.into())]);
+                }
                 return Ok(st.stats);
             }
             return Err(ExecError::Stall {
@@ -1545,6 +1674,7 @@ fn drive_update(
         }
         // Block for one completion batch, then drain whatever else landed.
         let wait = trace::span("exec", "coordinator.wait_completion");
+        let fwait = flight::span_arg(FlightCode::CoordWait, st.in_flight as u64);
         let w0 = Instant::now();
         let received = match deadline {
             None => pipes.done_rx.recv().ok(),
@@ -1554,6 +1684,7 @@ fn drive_update(
             }
         };
         *wait_ns += w0.elapsed().as_nanos() as u64;
+        drop(fwait);
         drop(wait);
         let Some(mut msg) = received else {
             let snapshot = st.snapshot(scheduler, pipes, t0);
@@ -1690,11 +1821,70 @@ fn send_chunks(
     true
 }
 
+/// Dump the flight recorder to a black-box file because `error` is about
+/// to surface. Best-effort by design: the dump must never turn a typed
+/// executor error into a second failure, so IO problems are only counted
+/// (`obs.flight.dump_errors`). The error text — and, for timeouts, the
+/// `ExecSnapshot` diagnostics — ride along as the dump's context record,
+/// stitching "what the watchdog saw" to "what the threads were doing".
+fn black_box_dump(cfg: &ExecConfig, error: &ExecError, scheduler: &str) {
+    let Some(dir) = cfg.black_box.as_deref() else {
+        return;
+    };
+    if !flight::enabled() {
+        return;
+    }
+    // Mark the failure on the coordinator's own lane so the dump shows
+    // *when* the error surfaced relative to the recorded events.
+    flight::instant(FlightCode::ExecError, 0);
+    let mut ctx: Vec<(&'static str, Json)> = vec![
+        ("error", error.to_string().into()),
+        ("kind", error.kind().into()),
+        ("scheduler", scheduler.into()),
+    ];
+    if let ExecError::Timeout { snapshot } = error {
+        ctx.push(("executed", snapshot.executed.into()));
+        ctx.push(("queued_chunks", snapshot.queued_chunks.into()));
+        ctx.push(("elapsed_ms", snapshot.elapsed_ms.into()));
+        ctx.push((
+            "in_flight",
+            Json::Arr(
+                snapshot
+                    .in_flight
+                    .iter()
+                    .take(32)
+                    .map(|v| Json::Num(v.index() as f64))
+                    .collect(),
+            ),
+        ));
+        ctx.push(("in_flight_total", snapshot.in_flight.len().into()));
+    }
+    let r = incr_obs::registry();
+    match flight::dump_to_dir(dir, error.kind(), &ctx) {
+        Ok(_) => r.counter("obs.flight.dumps").inc(),
+        Err(_) => r.counter("obs.flight.dump_errors").inc(),
+    }
+}
+
 fn busy_fraction(total_ns: u64, wait_ns: u64) -> f64 {
     if total_ns == 0 {
         return 1.0;
     }
     1.0 - (wait_ns.min(total_ns) as f64 / total_ns as f64)
+}
+
+/// How many stream batches between periodic `stream.slo.*` publishes.
+const SLO_PUBLISH_EVERY: usize = 64;
+
+/// Publish the SLO tracker's rolling window into the registry and the
+/// flight recorder (cold path: snapshot sorts the window).
+fn publish_slo(slo: &incr_obs::slo::SloTracker, registry: &incr_obs::Registry) {
+    let snap = slo.snapshot();
+    snap.publish(registry);
+    flight::counter(
+        FlightCode::StreamSojournP99,
+        (snap.p99_ns / 1_000) as f64,
+    );
 }
 
 /// Always-on occupancy counters (relaxed atomic adds).

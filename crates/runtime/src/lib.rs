@@ -21,9 +21,17 @@
 //!   function, used by the chaos test suite to prove the run-once safety
 //!   invariant holds under injected failure.
 
+//! * [`attribution`] — post-hoc critical-path analysis: replay drained
+//!   trace events against the DAG to split each update's latency into
+//!   scheduler / wait (run + eval) / commit / other components and
+//!   recover the concrete critical chain (the `dlsched explain`
+//!   subcommand).
+
+pub mod attribution;
 pub mod executor;
 pub mod faults;
 
+pub use attribution::{analyze, flow_events, TaskSpan, UpdateAttribution};
 pub use executor::{
     infallible, CancelToken, ExecConfig, ExecError, ExecReport, ExecSnapshot, Executor,
     RetryPolicy, StreamError, StreamPolicy, StreamReport, StreamUpdate, TaskFn, TaskOutcome,

@@ -18,19 +18,37 @@
 //!                                     drive a stream of K-node updates over a
 //!                                     V-node DAG through one warm worker pool
 //!                                     and report updates/sec + tasks/sec
+//! dlsched explain [--preset N|<spec>] [--sched S] [--procs P]
+//!                 [-o explain.json] [--trace-out out.trace.json]
+//!                                     run an update with per-task tracing and
+//!                                     attribute its latency: scheduler vs
+//!                                     wait (run/eval) vs commit vs other,
+//!                                     plus the concrete critical chain and a
+//!                                     flow-annotated Perfetto trace
+//! dlsched top [--nodes V] [--updates U] [--update-size K] [--procs P]
+//!             [--coalesce C] [--budget-us B] [--period-us T]
+//!             [--interval-ms I] [--frames N] [--plain]
+//!                                     drive an open-loop stream and render a
+//!                                     live text view of queue depth, SLO
+//!                                     percentiles, burn rate, coalesce rate,
+//!                                     worker occupancy and retries
 //! ```
 //!
 //! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
 //! `hybrid`, `hybrid-bg:<slice>`, `exact`.
 
-use datalog_sched::runtime::{ExecConfig, Executor, TaskFn};
+use datalog_sched::runtime::executor::{infallible, StreamPolicy, StreamUpdate};
+use datalog_sched::runtime::{analyze, flow_events, ExecConfig, Executor, TaskFn};
 use datalog_sched::sched::{CostPrices, Observed, SchedulerKind};
 use datalog_sched::sim::{record_timeline, simulate_event, EventSimConfig};
 use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
-use incr_obs::export::{chrome_trace_json, validate_chrome_trace};
+use incr_obs::export::{chrome_trace_json, chrome_trace_with, validate_chrome_trace};
+use incr_obs::json::obj;
 use incr_obs::trace;
+use incr_obs::Json;
 use incr_sched::Instance;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,9 +59,11 @@ fn main() {
         Some("gantt") => cmd_gantt(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dlsched <gen|stats|simulate|gantt|trace|stream> ...\n\
+                "usage: dlsched <gen|stats|simulate|gantt|trace|stream|explain|top> ...\n\
                  see the crate docs (src/bin/dlsched.rs) for details"
             );
             2
@@ -403,6 +423,326 @@ fn cmd_stream(args: &[String]) -> i32 {
     println!("  mean update      {:.1} us", mean_update * 1e6);
     println!("  coord busy       {:.1}%", report.coord_busy_fraction * 100.0);
     0
+}
+
+/// Run one update with per-task tracing and attribute its end-to-end
+/// latency: scheduler calls vs coordinator wait (split into plain run and
+/// join/DRed eval) vs commit vs everything else, plus the concrete
+/// critical chain. Emits `results/explain.json` and a Perfetto trace with
+/// flow arrows along the chain.
+fn cmd_explain(args: &[String]) -> i32 {
+    let spec = if let Some(p) = flag(args, "--preset") {
+        format!("#{}", p.trim_start_matches('#'))
+    } else if let Some(first) = args.first().filter(|a| !a.starts_with('-')) {
+        first.to_string()
+    } else {
+        eprintln!(
+            "usage: dlsched explain [--preset N|<trace.json|#id|figure2:L>] \
+             [--sched S] [--procs P] [-o explain.json] [--trace-out out.trace.json]"
+        );
+        return 2;
+    };
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("hybrid")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let procs: usize = flag(args, "--procs").and_then(|p| p.parse().ok()).unwrap_or(8);
+    let out = flag(args, "-o")
+        .or_else(|| flag(args, "--out"))
+        .unwrap_or("results/explain.json")
+        .to_string();
+    let trace_out = flag(args, "--trace-out").unwrap_or("results/explain.trace.json").to_string();
+
+    let (name, inst) = match load_instance(&spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+
+    trace::clear();
+    incr_obs::registry().reset();
+    trace::enable();
+    trace::set_thread_name("explain-driver");
+
+    let mut sched = Observed::new(kind.build(inst.dag.clone()));
+    let fired: Arc<Vec<Vec<incr_dag::NodeId>>> = Arc::new(inst.fired.clone());
+    let task: TaskFn = Arc::new(move |v, out: &mut Vec<incr_dag::NodeId>| {
+        out.extend_from_slice(&fired[v.index()]);
+    });
+    let mut cfg = ExecConfig::new(procs);
+    cfg.record_tasks = true;
+    let report =
+        match Executor::with_config(cfg).run(&mut sched, &inst.dag, &inst.initial_active, task) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                return 1;
+            }
+        };
+    trace::disable();
+    let threads = trace::drain();
+
+    let attrs = analyze(&inst.dag, &threads);
+    if attrs.is_empty() {
+        eprintln!("internal error: no exec.update span in the drained trace");
+        return 1;
+    }
+
+    // Annotated trace: the run's events plus critical-path flow arrows.
+    let flows = flow_events(&attrs);
+    let n_flows = flows.len();
+    let trace_text = chrome_trace_with(&threads, flows).to_json();
+    if let Err(e) = validate_chrome_trace(&trace_text) {
+        eprintln!("internal error: annotated trace failed validation: {e}");
+        return 1;
+    }
+
+    let doc = obj([
+        ("instance", name.clone().into()),
+        ("scheduler", kind.label().into()),
+        ("procs", procs.into()),
+        ("executed", report.executed.into()),
+        ("wall_seconds", report.wall_seconds.into()),
+        (
+            "updates",
+            Json::Arr(attrs.iter().map(|a| a.to_json()).collect()),
+        ),
+    ]);
+    for (path, text) in [(&out, doc.to_json()), (&trace_out, trace_text)] {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+                eprintln!("cannot create {}", dir.display());
+                return 1;
+            }
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+
+    println!("{name} under {} on {procs} processors:", kind.label());
+    let mut ok = true;
+    for a in &attrs {
+        let wall = a.wall_us();
+        let covered = if wall > 0.0 { a.components_us() / wall } else { 1.0 };
+        ok &= (covered - 1.0).abs() <= 0.05;
+        let pct = |c: f64| if wall > 0.0 { 100.0 * c / wall } else { 0.0 };
+        println!(
+            "  update {}: wall {:.0} us ({} tasks), accounted {:.1}%",
+            a.update,
+            wall,
+            a.executed,
+            covered * 100.0
+        );
+        println!(
+            "    sched {:5.1}%  run {:5.1}%  eval {:5.1}%  commit {:5.1}%  other {:5.1}%",
+            pct(a.sched_us),
+            pct(a.run_us),
+            pct(a.eval_us),
+            pct(a.commit_us),
+            pct(a.other_us)
+        );
+        println!(
+            "    critical chain: {} tasks, {:.0} us on-chain ({:.1}% of wall)",
+            a.chain.len(),
+            a.chain_us(),
+            pct(a.chain_us())
+        );
+    }
+    println!("  wrote {out}");
+    println!("  wrote {trace_out} ({n_flows} flow events) — open in https://ui.perfetto.dev");
+    if !ok {
+        eprintln!("attribution components do not sum to wall time (>5% off)");
+        return 1;
+    }
+    0
+}
+
+/// Drive an open-loop stream on the main thread while a background thread
+/// repaints a `top`-style text view from the metrics registry and the SLO
+/// tracker: queue depth, p50/p95/p99 sojourn vs budget, burn rate,
+/// coalesce rate, worker occupancy, retries.
+fn cmd_top(args: &[String]) -> i32 {
+    let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let updates: usize = flag(args, "--updates").and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let update_size: usize = flag(args, "--update-size").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let procs: usize = flag(args, "--procs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let coalesce: usize = flag(args, "--coalesce").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let budget_us: u64 = flag(args, "--budget-us").and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let period_us: u64 = flag(args, "--period-us").and_then(|v| v.parse().ok()).unwrap_or(500);
+    let interval_ms: u64 = flag(args, "--interval-ms").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let frames: usize = flag(args, "--frames").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
+    let plain = args.iter().any(|a| a == "--plain");
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("levelbased")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    let layers = 20u32;
+    let width = (nodes as u32 / layers).max(1);
+    let dag = Arc::new(incr_dag::random::layered(incr_dag::random::LayeredParams {
+        layers,
+        width,
+        max_in: 4,
+        back_span: 2,
+        seed: 42,
+    }));
+    let n = dag.node_count();
+
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut lcg = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    // Open loop: update i arrives at i * period, regardless of progress.
+    let stream: Vec<StreamUpdate> = (0..updates)
+        .map(|i| {
+            let initial = (0..update_size)
+                .map(|_| incr_dag::NodeId((lcg() % width.min(n as u32) as usize) as u32))
+                .collect();
+            StreamUpdate::at(initial, Duration::from_micros(i as u64 * period_us))
+        })
+        .collect();
+
+    let dag2 = dag.clone();
+    let task: TaskFn = Arc::new(move |v, out: &mut Vec<incr_dag::NodeId>| {
+        for (i, &c) in dag2.children(v).iter().enumerate() {
+            if i % 2 == 0 {
+                out.push(c);
+            }
+        }
+    });
+
+    incr_obs::registry().reset();
+    incr_obs::slo::stream_tracker().reset();
+
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let render_done = done.clone();
+    let budget = Duration::from_micros(budget_us);
+    let render = std::thread::spawn(move || {
+        use std::sync::atomic::Ordering;
+        let r = incr_obs::registry();
+        let slo = incr_obs::slo::stream_tracker();
+        let mut frame = 0usize;
+        let mut last_busy = 0u64;
+        let mut last_samples = 0u64;
+        let mut last = std::time::Instant::now();
+        while frame < frames && !render_done.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            let now = std::time::Instant::now();
+            let dt = now.duration_since(last).as_secs_f64();
+            last = now;
+
+            let busy = r.counter("exec.worker_busy_ns").get();
+            let samples = r.counter("stream.slo.samples").get();
+            let occupancy = if dt > 0.0 {
+                (busy.saturating_sub(last_busy) as f64 / 1e9) / (dt * procs as f64)
+            } else {
+                0.0
+            };
+            let rate = if dt > 0.0 {
+                samples.saturating_sub(last_samples) as f64 / dt
+            } else {
+                0.0
+            };
+            last_busy = busy;
+            last_samples = samples;
+
+            let s = slo.snapshot();
+            let coalesced = r.counter("stream.coalesced").get();
+            let over = r.counter("stream.slo.over_budget").get();
+            // Admission (numerator) runs ahead of completion (denominator);
+            // cap so the readout never exceeds 100%.
+            let coalesce_rate = if samples > 0 {
+                (100.0 * coalesced as f64 / samples as f64).min(100.0)
+            } else {
+                0.0
+            };
+            if !plain {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("dlsched top — frame {frame}  ({rate:.0} updates/s)");
+            println!(
+                "  queue depth     {:>8}   (peak {})",
+                r.gauge("stream.queue_depth").get(),
+                r.gauge("stream.queue_depth").peak()
+            );
+            println!(
+                "  sojourn p50     {:>8.0} us   p95 {:.0} us   p99 {:.0} us   max {:.0} us",
+                s.p50_ns as f64 / 1e3,
+                s.p95_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.max_ns as f64 / 1e3
+            );
+            println!(
+                "  SLO budget      {:>8.0} us   burn {:.1}%   over-budget {} / {}",
+                budget.as_micros() as f64,
+                s.burn_rate * 100.0,
+                over,
+                samples
+            );
+            println!("  coalesce rate   {coalesce_rate:>7.1}%   ({coalesced} updates shared a batch)");
+            println!(
+                "  worker occupancy{:>7.1}%   in-flight {}   exec queue {}",
+                occupancy * 100.0,
+                r.gauge("exec.in_flight").get(),
+                r.gauge("exec.queue_depth").get()
+            );
+            println!(
+                "  retries         {:>8}   task failures {}",
+                r.counter("exec.retries").get(),
+                r.counter("exec.task_failures").get()
+            );
+            frame += 1;
+        }
+    });
+
+    let policy = StreamPolicy {
+        max_coalesce: coalesce.max(1),
+        latency_budget: budget,
+        pipeline: true,
+    };
+    let mut sched = kind.build(dag.clone());
+    let result = Executor::with_config(ExecConfig::new(procs)).run_stream_with(
+        sched.as_mut(),
+        &dag,
+        &stream,
+        infallible(task),
+        &policy,
+        None,
+    );
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = render.join();
+
+    match result {
+        Ok(report) => {
+            let s = incr_obs::slo::stream_tracker().snapshot();
+            println!(
+                "stream done: {} updates ({} batches) in {:.3} s — p50 {:.0} us  p95 {:.0} us  p99 {:.0} us  burn {:.1}%",
+                report.updates,
+                report.batches,
+                report.wall_seconds,
+                s.p50_ns as f64 / 1e3,
+                s.p95_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.burn_rate * 100.0
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_gantt(args: &[String]) -> i32 {

@@ -365,6 +365,111 @@ fn preset5_worker_panic_fails_fast_and_restarts_identically() {
     }
 }
 
+/// A scheduler that goes mute after `allow` pops while refusing to report
+/// quiescence — the executor's stall detector must fire. This models a
+/// buggy scheduler losing track of activations, which no task-level fault
+/// can reproduce.
+struct Mute {
+    inner: Box<dyn Scheduler>,
+    allow: usize,
+}
+
+impl Scheduler for Mute {
+    fn name(&self) -> &str {
+        "mute"
+    }
+    fn start(&mut self, initial_active: &[NodeId]) {
+        self.inner.start(initial_active);
+    }
+    fn on_completed(&mut self, v: NodeId, fired: &[NodeId]) {
+        self.inner.on_completed(v, fired);
+    }
+    fn pop_ready(&mut self) -> Option<NodeId> {
+        if self.allow == 0 {
+            return None;
+        }
+        self.allow -= 1;
+        self.inner.pop_ready()
+    }
+    fn is_quiescent(&self) -> bool {
+        false // never admits it is done: a pop drought here is a stall
+    }
+    fn cost(&self) -> CostMeter {
+        self.inner.cost()
+    }
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+    fn precompute_bytes(&self) -> usize {
+        self.inner.precompute_bytes()
+    }
+    fn on_external_dispatch(&mut self, v: NodeId) {
+        self.inner.on_external_dispatch(v);
+    }
+}
+
+/// ISSUE 6 acceptance: an injected executor stall — and, for contrast, a
+/// worker panic — each leave a validator-clean flight-recorder black box
+/// on disk with tracing NEVER enabled. The dump is stitched from the
+/// always-on per-thread rings alone.
+#[test]
+fn injected_stall_and_panic_leave_validator_clean_flight_dumps() {
+    use incr_obs::export::validate_chrome_trace;
+    use incr_obs::{flight, trace};
+    silence_injected_panics();
+    trace::disable();
+    flight::set_enabled(true);
+    let dir = std::env::temp_dir().join(format!("dlsched-chaos-blackbox-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inst = instance(0xB1AC);
+    let fired_sets: Arc<Vec<Vec<NodeId>>> = Arc::new(inst.fired.clone());
+    let inner: TryTaskFn = {
+        let fired_sets = fired_sets.clone();
+        Arc::new(move |v, fired: &mut Vec<NodeId>| {
+            fired.extend_from_slice(&fired_sets[v.index()]);
+            TaskOutcome::Done
+        })
+    };
+    let mut cfg = ExecConfig::new(4);
+    cfg.black_box = Some(dir.clone());
+
+    // Scenario 1: the scheduler stops yielding work mid-update.
+    let mut s = Mute {
+        inner: SchedulerKind::Hybrid.build(inst.dag.clone()),
+        allow: 5,
+    };
+    let err = Executor::with_config(cfg.clone())
+        .run_fallible(&mut s, &inst.dag, &inst.initial_active, inner.clone(), None)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Stall { .. }), "got {err:?}");
+
+    // Scenario 2: a worker panic through the fault plan.
+    let plan = FaultPlan::new(7).with(Fault::PanicAtNth { n: 3 });
+    let task = plan.wrap(inner);
+    let mut s = SchedulerKind::LevelBased.build(inst.dag.clone());
+    let err = Executor::with_config(cfg)
+        .run_fallible(s.as_mut(), &inst.dag, &inst.initial_active, task, None)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::TaskPanicked { .. }), "got {err:?}");
+
+    // Both dumps exist (names carry the error kind), validate as Chrome
+    // traces, and mark the failure instant.
+    for kind in ["stall", "panic"] {
+        let path = std::fs::read_dir(&dir)
+            .expect("black-box dir created")
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().contains(kind))
+            .unwrap_or_else(|| panic!("no {kind} dump in {dir:?}"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_chrome_trace(&text)
+            .unwrap_or_else(|e| panic!("{kind} dump invalid: {e}"));
+        assert!(text.contains("exec.error"), "{kind}: failure instant missing");
+        assert!(text.contains("flight.context"), "{kind}: context record missing");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A cancelled update leaves the scheduler restartable too — the
 /// CancelToken path through the same restart-identical yardstick.
 #[test]
