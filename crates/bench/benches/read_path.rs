@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the MVCC read path: what a query
+//! costs at head, through a pinned snapshot, and what pinning itself
+//! costs. The epoch visibility filter is one `u64` compare per row, so
+//! head and snapshot reads should sit within noise of each other — this
+//! group is the regression tripwire for that claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incr_datalog::{FactEdit, IncrementalEngine};
+use incr_sched::LevelBased;
+
+/// Chain + shortcuts transitive closure, with one committed update so
+/// the arena holds real tombstones (the read path must filter them, not
+/// just fresh rows).
+fn churned_engine(n: u32) -> IncrementalEngine {
+    let mut src = String::from(
+        "path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- path(X, Y), edge(Y, Z).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("edge(v{}, v{}).\n", i, i + 1));
+        if i % 5 == 0 {
+            src.push_str(&format!("edge(v{}, v{}).\n", i, (i + 7) % (n + 1)));
+        }
+    }
+    let mut e = IncrementalEngine::new(&src).expect("valid program");
+    let mut s = LevelBased::new(e.dag().clone());
+    e.update(&mut s, &[FactEdit::remove("edge", &["v10", "v11"])])
+        .expect("update");
+    e
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let e = churned_engine(80);
+    // Keep one old epoch pinned throughout: the arena retains its
+    // tombstones, so visibility filtering has dead rows to skip.
+    let pinned = e.begin_snapshot();
+    let mut g = c.benchmark_group("read_path");
+    g.sample_size(20);
+
+    g.bench_function("head_scan_query", |b| {
+        b.iter(|| std::hint::black_box(e.query("path(v0, ?)").expect("query")))
+    });
+
+    g.bench_function("snapshot_scan_query", |b| {
+        let snap = e.begin_snapshot();
+        b.iter(|| std::hint::black_box(snap.query("path(v0, ?)").expect("query")))
+    });
+
+    g.bench_function("snapshot_point_lookup", |b| {
+        let snap = e.begin_snapshot();
+        b.iter(|| std::hint::black_box(snap.has("path", &["v0", "v40"])))
+    });
+
+    g.bench_function("pin_unpin", |b| {
+        let reader = e.reader();
+        b.iter(|| std::hint::black_box(reader.snapshot().epoch()))
+    });
+
+    drop(pinned);
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_path);
+criterion_main!(benches);

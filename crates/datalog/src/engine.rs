@@ -10,6 +10,7 @@
 use crate::ast::Program;
 use crate::eval::{compile_program_with, load_facts, seminaive_scc_opts, CRule};
 use crate::incr::{reevaluate_scc_opts, update_scc_opts, Delta};
+use crate::mvcc::{DbCell, PinRegistry, ReaderHandle, Snapshot};
 use crate::par::EvalOptions;
 use crate::parser::{parse_program, ParseError};
 use crate::query::{parse_pattern, query as run_query};
@@ -21,7 +22,8 @@ use incr_dag::{Dag, NodeId};
 use incr_obs::trace;
 use incr_sched::{CostMeter, Scheduler};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Engine construction and update errors.
 #[derive(Debug)]
@@ -108,8 +110,18 @@ pub struct UpdateReport {
 
 /// A fully materialized Datalog database with scheduler-driven
 /// incremental maintenance.
+///
+/// The database lives behind a shared lock so any number of reader
+/// threads can serve [`Snapshot`] queries (via [`Self::reader`]) while
+/// updates run: the maintenance loop takes the write lock *per
+/// scheduler task*, so readers interleave at task boundaries, and the
+/// epoch stamps in [`crate::rel`] guarantee every pinned snapshot keeps
+/// reading the last published cut regardless of interleaving. Epochs
+/// publish at the committed end of each update batch — never mid-
+/// cascade.
 pub struct IncrementalEngine {
-    db: Database,
+    db: Arc<DbCell>,
+    pins: Arc<PinRegistry>,
     program: Program,
     rules: Vec<CRule>,
     #[allow(dead_code)]
@@ -152,17 +164,26 @@ impl IncrementalEngine {
         let graph = TaskGraph::build(&strat, &rules, &db);
 
         let node_rules = Self::index_node_rules(&graph, &rules);
-        let mut engine = IncrementalEngine {
-            db,
+        // Full materialization happens on the still-private database,
+        // then the initial state publishes as epoch 1 — the first cut
+        // snapshots can pin.
+        for &v in graph.dag.topo_order() {
+            if let NodeKind::Clique { preds, .. } = &graph.kinds[v.index()] {
+                let rules = node_rules[v.index()].clone();
+                seminaive_scc_opts(&mut db, &rules, preds, HashMap::new(), true, &opts);
+            }
+        }
+        db.publish(u64::MAX);
+        Ok(IncrementalEngine {
+            db: Arc::new(DbCell::new(db)),
+            pins: Arc::new(PinRegistry::new()),
             program,
             rules,
             strat,
             graph,
             node_rules,
             opts,
-        };
-        engine.materialize();
-        Ok(engine)
+        })
     }
 
     /// The evaluation options in effect.
@@ -194,20 +215,58 @@ impl IncrementalEngine {
             .collect()
     }
 
-    /// Full (from-scratch) materialization: every clique to fixpoint in
-    /// topological order.
-    fn materialize(&mut self) {
-        for &v in self.graph.dag.topo_order() {
-            if let NodeKind::Clique { preds, .. } = &self.graph.kinds[v.index()] {
-                let rules = self.node_rules[v.index()].clone();
-                seminaive_scc_opts(&mut self.db, &rules, preds, HashMap::new(), true, &self.opts);
-            }
-        }
+    /// Shared read access to the head database (poison-recovering and
+    /// writer-deferring; see [`DbCell`]).
+    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read()
     }
 
-    /// The live database.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Exclusive write access to the head database. Backs concurrent
+    /// snapshot readers off while acquiring, so a read-heavy load
+    /// cannot starve the maintenance loop.
+    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write()
+    }
+
+    /// The live (head) database, read-locked for the guard's lifetime.
+    /// Hold it briefly — an update cannot start while guards are out.
+    pub fn database(&self) -> RwLockReadGuard<'_, Database> {
+        self.db_read()
+    }
+
+    /// A cloneable, `Send + Sync` handle reader threads use to open
+    /// snapshots while this engine keeps updating.
+    pub fn reader(&self) -> ReaderHandle {
+        ReaderHandle::new(self.db.clone(), self.pins.clone())
+    }
+
+    /// Pin the last published epoch and return a consistent read view.
+    /// Equivalent to `self.reader().snapshot()`.
+    pub fn begin_snapshot(&self) -> Snapshot {
+        self.reader().snapshot()
+    }
+
+    /// The last published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.db_read().epoch()
+    }
+
+    /// Commit the open epoch at a batch boundary: bump the published
+    /// epoch, vacuum tombstones past the snapshot watermark, and export
+    /// the `mvcc.*` observability set.
+    fn publish(&mut self) {
+        let t0 = Instant::now();
+        let mut db = self.db_write();
+        let epoch = db.publish(self.pins.min_pinned());
+        let retained = db.rows_retained();
+        drop(db);
+        let reg = incr_obs::registry();
+        reg.gauge("mvcc.epoch").set(epoch as i64);
+        reg.gauge("mvcc.pinned_epochs")
+            .set(self.pins.pinned_count() as i64);
+        reg.gauge("mvcc.rows_retained").set(retained as i64);
+        reg.counter("mvcc.publish_ns")
+            .add(t0.elapsed().as_nanos() as u64);
     }
 
     /// The scheduling DAG of the program.
@@ -222,14 +281,13 @@ impl IncrementalEngine {
 
     /// Does `pred(args…)` hold (symbols only)?
     pub fn has(&self, pred: &str, args: &[&str]) -> bool {
-        self.db.has_fact(pred, args)
+        self.db_read().has_fact(pred, args)
     }
 
     /// Number of tuples in `pred`.
     pub fn count(&self, pred: &str) -> usize {
-        self.db
-            .pred_id(pred)
-            .map_or(0, |p| self.db.rel(p).len())
+        let db = self.db_read();
+        db.pred_id(pred).map_or(0, |p| db.rel(p).len())
     }
 
     /// Apply base-table edits, driving re-derivation with `scheduler`.
@@ -238,47 +296,51 @@ impl IncrementalEngine {
         scheduler: &mut dyn Scheduler,
         edits: &[FactEdit],
     ) -> Result<UpdateReport, EngineError> {
-        // 1. Apply edits to base relations, collecting net deltas.
+        // 1. Apply edits to base relations, collecting net deltas. The
+        // write lock is scoped to this phase so readers interleave
+        // before the cascade starts.
         let mut base_deltas: HashMap<PredId, Delta> = HashMap::new();
-        for e in edits {
-            let (pred, args, adding) = match e {
-                FactEdit::Add { pred, args } => (pred, args, true),
-                FactEdit::Remove { pred, args } => (pred, args, false),
-            };
-            let id = self
-                .db
-                .pred_id(pred)
-                .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
-            if self.db.rel(id).arity() != args.len() {
-                return Err(EngineError::Edit(format!(
-                    "{pred} has arity {}, edit has {}",
-                    self.db.rel(id).arity(),
-                    args.len()
-                )));
-            }
-            let node = self.graph.node_of_pred[&id];
-            if !matches!(self.graph.kinds[node.index()], NodeKind::Base(_)) {
-                return Err(EngineError::Edit(format!(
-                    "{pred} is a derived predicate; only base tables can be edited"
-                )));
-            }
-            let tuple: Tuple = args
-                .iter()
-                .map(|a| match a.parse::<i64>() {
-                    Ok(i) => Value::Int(i),
-                    Err(_) => self.db.sym(a),
-                })
-                .collect();
-            let d = base_deltas.entry(id).or_default();
-            if adding {
-                if self.db.rel_mut(id).insert(tuple.clone())
-                    && !d.removed.remove(&tuple) {
-                        d.added.insert(tuple);
-                    }
-            } else if self.db.rel_mut(id).remove(&tuple)
-                && !d.added.remove(&tuple) {
-                    d.removed.insert(tuple);
+        {
+            let mut db = self.db_write();
+            for e in edits {
+                let (pred, args, adding) = match e {
+                    FactEdit::Add { pred, args } => (pred, args, true),
+                    FactEdit::Remove { pred, args } => (pred, args, false),
+                };
+                let id = db
+                    .pred_id(pred)
+                    .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
+                if db.rel(id).arity() != args.len() {
+                    return Err(EngineError::Edit(format!(
+                        "{pred} has arity {}, edit has {}",
+                        db.rel(id).arity(),
+                        args.len()
+                    )));
                 }
+                let node = self.graph.node_of_pred[&id];
+                if !matches!(self.graph.kinds[node.index()], NodeKind::Base(_)) {
+                    return Err(EngineError::Edit(format!(
+                        "{pred} is a derived predicate; only base tables can be edited"
+                    )));
+                }
+                let tuple: Tuple = args
+                    .iter()
+                    .map(|a| match a.parse::<i64>() {
+                        Ok(i) => Value::Int(i),
+                        Err(_) => db.sym(a),
+                    })
+                    .collect();
+                let d = base_deltas.entry(id).or_default();
+                if adding {
+                    if db.rel_mut(id).insert(tuple.clone())
+                        && !d.removed.remove(&tuple) {
+                            d.added.insert(tuple);
+                        }
+                } else if db.rel_mut(id).remove(&tuple)
+                    && !d.added.remove(&tuple) {
+                        d.removed.insert(tuple);
+                    }
+            }
         }
 
         // 2. Initially-dirty source nodes.
@@ -296,7 +358,13 @@ impl IncrementalEngine {
             .filter(|(_, d)| !d.is_empty())
             .map(|(p, d)| (*p, d.clone()))
             .collect();
-        self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo)
+        let report = self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo)?;
+        // 4. Committed: publish the new epoch — the one point where
+        // concurrent snapshots start seeing this update's effects. A
+        // failed drive already rolled back and publishes nothing, so
+        // the last published cut stays the pre-update state.
+        self.publish();
+        Ok(report)
     }
 
     /// Queue one logical update's edits into `q`, coalescing against the
@@ -309,18 +377,18 @@ impl IncrementalEngine {
         q: &mut crate::stream::DeltaQueue,
         edits: &[FactEdit],
     ) -> Result<(), EngineError> {
+        let mut db = self.db_write();
         for e in edits {
             let (pred, args) = match e {
                 FactEdit::Add { pred, args } | FactEdit::Remove { pred, args } => (pred, args),
             };
-            let id = self
-                .db
+            let id = db
                 .pred_id(pred)
                 .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
-            if self.db.rel(id).arity() != args.len() {
+            if db.rel(id).arity() != args.len() {
                 return Err(EngineError::Edit(format!(
                     "{pred} has arity {}, edit has {}",
-                    self.db.rel(id).arity(),
+                    db.rel(id).arity(),
                     args.len()
                 )));
             }
@@ -334,10 +402,10 @@ impl IncrementalEngine {
                 .iter()
                 .map(|a| match a.parse::<i64>() {
                     Ok(i) => Value::Int(i),
-                    Err(_) => self.db.sym(a),
+                    Err(_) => db.sym(a),
                 })
                 .collect();
-            let present = self.db.rel(id).contains(&tuple);
+            let present = db.rel(id).contains(&tuple);
             q.push_with_presence(e.clone(), present);
         }
         q.end_update();
@@ -365,17 +433,18 @@ impl IncrementalEngine {
             Err(err) => {
                 // Rollback restored the base tables, so re-queuing against
                 // current membership reproduces the pre-drain queue.
+                let mut db = self.db_write();
                 for e in &edits {
-                    let id = self.db.pred_id(e.pred_name()).expect("validated at enqueue");
+                    let id = db.pred_id(e.pred_name()).expect("validated at enqueue");
                     let tuple: Tuple = e
                         .arg_texts()
                         .iter()
                         .map(|a| match a.parse::<i64>() {
                             Ok(i) => Value::Int(i),
-                            Err(_) => self.db.sym(a),
+                            Err(_) => db.sym(a),
                         })
                         .collect();
-                    let present = self.db.rel(id).contains(&tuple);
+                    let present = db.rel(id).contains(&tuple);
                     q.push_with_presence(e.clone(), present);
                 }
                 for _ in 0..updates {
@@ -417,13 +486,19 @@ impl IncrementalEngine {
         scheduler.start(initial);
         while let Some(node) = scheduler.pop_ready() {
             order.push(node);
+            // One write-lock tenure per scheduler task: between tasks
+            // the lock is free, so snapshot readers make progress while
+            // a long cascade runs. Isolation does not depend on this —
+            // epoch stamps keep pinned readers on the published cut —
+            // it only bounds reader latency.
+            let mut db = self.db_write();
             // Per-stratum task span: the node's level in the task DAG is
             // its stratum, so one trace row per predicate-clique
             // evaluation, labelled with what was evaluated.
             let task_span = trace::enabled().then(|| {
                 trace::span_with(
                     "datalog",
-                    format!("eval {}", self.graph.label(node, &self.db)),
+                    format!("eval {}", self.graph.label(node, &db)),
                     vec![
                         ("node", (node.0 as u64).into()),
                         ("stratum", (self.graph.dag.level(node) as u64).into()),
@@ -448,9 +523,9 @@ impl IncrementalEngine {
                             // fold. Their inputs are final here, so a full
                             // re-evaluation against the live database is
                             // both correct and exact.
-                            reevaluate_scc_opts(&mut self.db, &rules, preds, &self.opts)
+                            reevaluate_scc_opts(&mut db, &rules, preds, &self.opts)
                         } else {
-                            update_scc_opts(&mut self.db, &rules, preds, &input, &self.opts)
+                            update_scc_opts(&mut db, &rules, preds, &input, &self.opts)
                         };
                         // The clique just mutated the database by these net
                         // deltas; log them so a failed update can roll back.
@@ -468,12 +543,13 @@ impl IncrementalEngine {
             for (p, d) in &out {
                 if !d.is_empty() {
                     let e = pred_changes
-                        .entry(self.db.pred_name(*p).to_string())
+                        .entry(db.pred_name(*p).to_string())
                         .or_insert((0, 0));
                     e.0 += d.added.len();
                     e.1 += d.removed.len();
                 }
             }
+            drop(db);
             // Fire children whose read-set saw a change.
             let mut fired: Vec<NodeId> = Vec::new();
             for &child in self.graph.dag.children(node) {
@@ -521,8 +597,9 @@ impl IncrementalEngine {
     /// one entry), so reverse replay restores the exact prior contents.
     fn rollback(&mut self, undo: Vec<(PredId, Delta)>) {
         let _span = trace::span("datalog", "update.rollback");
+        let mut db = self.db_write();
         for (p, d) in undo.into_iter().rev() {
-            let rel = self.db.rel_mut(p);
+            let rel = db.rel_mut(p);
             for t in &d.added {
                 rel.remove(t);
             }
@@ -536,8 +613,10 @@ impl IncrementalEngine {
     /// program change, keeping the database contents.
     fn rebuild(&mut self) -> Result<(), EngineError> {
         let strat = stratify(&self.program).map_err(EngineError::Stratify)?;
-        let rules = compile_program_with(&self.program, &mut self.db, self.opts.index_mode);
-        let graph = TaskGraph::build(&strat, &rules, &self.db);
+        let mut db = self.db_write();
+        let rules = compile_program_with(&self.program, &mut db, self.opts.index_mode);
+        let graph = TaskGraph::build(&strat, &rules, &db);
+        drop(db);
         self.node_rules = Self::index_node_rules(&graph, &rules);
         self.strat = strat;
         self.rules = rules;
@@ -617,17 +696,24 @@ impl IncrementalEngine {
         head_pred: &str,
         make_sched: impl FnOnce(Arc<Dag>) -> Box<dyn Scheduler>,
     ) -> Result<UpdateReport, EngineError> {
-        let head = self
-            .db
-            .pred_id(head_pred)
-            .expect("head registered by rebuild");
+        let head = {
+            let db = self.db_read();
+            db.pred_id(head_pred).expect("head registered by rebuild")
+        };
         let Some(&node) = self.graph.node_of_pred.get(&head) else {
             // The predicate vanished from the program entirely (its last
-            // rule removed and nothing else mentions it): clear leftovers;
-            // there can be no downstream readers.
-            let removed = self.db.rel(head).len();
-            let arity = self.db.rel(head).arity();
-            *self.db.rel_mut(head) = crate::rel::Relation::new(arity);
+            // rule removed and nothing else mentions it): clear leftovers
+            // tuple-by-tuple — tombstones, not a wholesale relation swap,
+            // so pinned snapshots keep reading the old extent until the
+            // next publish vacuums past them.
+            let mut db = self.db_write();
+            let doomed = db.rel(head).sorted();
+            let removed = doomed.len();
+            for t in &doomed {
+                db.rel_mut(head).remove(t);
+            }
+            drop(db);
+            self.publish();
             let mut pred_changes = HashMap::new();
             if removed > 0 {
                 pred_changes.insert(head_pred.to_string(), (0, removed));
@@ -640,21 +726,26 @@ impl IncrementalEngine {
                 order: Vec::new(),
             });
         };
-        let out = match &self.graph.kinds[node.index()] {
-            NodeKind::Clique { preds, .. } => {
-                let rules = self.node_rules[node.index()].clone();
-                reevaluate_scc_opts(&mut self.db, &rules, preds, &self.opts)
-            }
-            NodeKind::Base(_) => {
-                // The last rule for this predicate was removed: it is now
-                // a base table holding derived leftovers; clear them.
-                let mut d = Delta::default();
-                for t in self.db.rel(head).sorted() {
-                    d.removed.insert(t);
+        let out = {
+            let mut db = self.db_write();
+            match &self.graph.kinds[node.index()] {
+                NodeKind::Clique { preds, .. } => {
+                    let rules = self.node_rules[node.index()].clone();
+                    reevaluate_scc_opts(&mut db, &rules, preds, &self.opts)
                 }
-                let arity = self.db.rel(head).arity();
-                *self.db.rel_mut(head) = crate::rel::Relation::new(arity);
-                HashMap::from([(head, d)])
+                NodeKind::Base(_) => {
+                    // The last rule for this predicate was removed: it is
+                    // now a base table holding derived leftovers; remove
+                    // them (tombstoned for any pinned snapshot).
+                    let mut d = Delta::default();
+                    for t in db.rel(head).sorted() {
+                        d.removed.insert(t);
+                    }
+                    for t in &d.removed {
+                        db.rel_mut(head).remove(t);
+                    }
+                    HashMap::from([(head, d)])
+                }
             }
         };
         // The head re-evaluation above already mutated the database; seed
@@ -667,21 +758,24 @@ impl IncrementalEngine {
             .map(|(p, d)| (*p, d.clone()))
             .collect();
         let mut scheduler = make_sched(self.graph.dag.clone());
-        self.drive(
+        let report = self.drive(
             scheduler.as_mut(),
             &[node],
             HashMap::new(),
             HashMap::from([(node, out)]),
             undo,
-        )
+        )?;
+        self.publish();
+        Ok(report)
     }
 
     /// Pattern query against the materialization, e.g. `path(a, ?)`.
     /// Returns rendered tuples, sorted.
     pub fn query(&self, pattern: &str) -> Result<Vec<String>, EngineError> {
         let (pred, pats) = parse_pattern(pattern).map_err(EngineError::Edit)?;
-        let rows = run_query(&self.db, &pred, &pats);
-        Ok(crate::query::render(&self.db, &rows))
+        let db = self.db_read();
+        let rows = run_query(&db, &pred, &pats);
+        Ok(crate::query::render(&db, &rows))
     }
 }
 
@@ -1131,11 +1225,13 @@ mod tests {
         preds
             .iter()
             .map(|p| {
-                let mut rows = e.query(&format!(
-                    "{p}({})",
-                    vec!["?"; e.db.rel(e.db.pred_id(p).unwrap()).arity()].join(", ")
-                ))
-                .unwrap();
+                let arity = {
+                    let db = e.database();
+                    db.rel(db.pred_id(p).unwrap()).arity()
+                };
+                let mut rows = e
+                    .query(&format!("{p}({})", vec!["?"; arity].join(", ")))
+                    .unwrap();
                 rows.sort();
                 rows
             })

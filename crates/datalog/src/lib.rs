@@ -16,6 +16,9 @@
 //!   aggregate evaluation (`count`/`sum`/`min`/`max` heads).
 //! * [`incr`] — incremental maintenance: delta-driven insertion and
 //!   delete-rederive (DRed) deletion.
+//! * [`mvcc`] — concurrent snapshot readers: a lock-free pin registry
+//!   over the epoch-versioned arena, so queries serve a consistent
+//!   published cut while maintenance cascades mutate the head.
 //! * [`taskgraph`] — the bridge to the paper: compile a program into the
 //!   scheduling DAG whose nodes are predicate evaluations, and drive any
 //!   [`incr_sched::Scheduler`] with *real* data-dependent activations
@@ -26,6 +29,7 @@ pub mod ast;
 pub mod engine;
 pub mod eval;
 pub mod incr;
+pub mod mvcc;
 pub mod par;
 pub mod parser;
 pub mod query;
@@ -41,9 +45,10 @@ mod proptests;
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use engine::{FactEdit, IncrementalEngine, UpdateReport};
 pub use eval::{Access, IndexMode};
+pub use mvcc::{PinRegistry, ReaderHandle, Snapshot};
 pub use par::EvalOptions;
 pub use parser::parse_program;
-pub use query::{parse_pattern, query, Pat};
+pub use query::{parse_pattern, query, query_at, Pat};
 pub use rel::{Database, Relation};
 pub use stream::DeltaQueue;
 pub use value::{Tuple, Value};

@@ -1,15 +1,19 @@
 //! Property tests: parallel evaluation (`threads = 4`, pool forced) must
 //! produce exactly the same materializations and the same per-update net
 //! deltas as sequential evaluation (`threads = 1`), on random programs,
-//! random base facts, and random edit sequences.
+//! random base facts, and random edit sequences. A second family checks
+//! snapshot isolation: a snapshot pinned mid-cascade reads the
+//! pre-update database bit-for-bit, and a post-publish snapshot matches
+//! the sequential reference — under every scheduler.
 //!
 //! The engines are built from identical source text, so symbol interning
 //! — and therefore raw tuple comparison — agrees between the two runs.
 
 use crate::engine::{FactEdit, IncrementalEngine};
+use crate::mvcc::{ReaderHandle, Snapshot};
 use crate::par::EvalOptions;
 use crate::value::Tuple;
-use incr_sched::{LevelBased, Scheduler};
+use incr_sched::{CostMeter, Hybrid, LevelBased, LogicBlox, Scheduler, SignalPropagation};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -99,6 +103,145 @@ fn assert_equivalent(
     Ok(())
 }
 
+/// Wraps any scheduler and pins a snapshot at the first popped task —
+/// i.e. after the cascade has started mutating the head version but
+/// before anything publishes.
+struct PinAtFirstPop {
+    inner: Box<dyn Scheduler>,
+    reader: ReaderHandle,
+    snap: Option<Snapshot>,
+}
+
+impl Scheduler for PinAtFirstPop {
+    fn name(&self) -> &str {
+        "PinAtFirstPop"
+    }
+    fn start(&mut self, initial: &[incr_dag::NodeId]) {
+        self.inner.start(initial);
+    }
+    fn on_completed(&mut self, v: incr_dag::NodeId, fired: &[incr_dag::NodeId]) {
+        self.inner.on_completed(v, fired);
+    }
+    fn pop_ready(&mut self) -> Option<incr_dag::NodeId> {
+        let t = self.inner.pop_ready();
+        if t.is_some() && self.snap.is_none() {
+            self.snap = Some(self.reader.snapshot());
+        }
+        t
+    }
+    fn is_quiescent(&self) -> bool {
+        self.inner.is_quiescent()
+    }
+    fn cost(&self) -> CostMeter {
+        self.inner.cost()
+    }
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+    fn precompute_bytes(&self) -> usize {
+        self.inner.precompute_bytes()
+    }
+    fn on_external_dispatch(&mut self, v: incr_dag::NodeId) {
+        self.inner.on_external_dispatch(v);
+    }
+}
+
+fn make_scheduler(e: &IncrementalEngine, kind: usize) -> Box<dyn Scheduler> {
+    let dag = e.dag().clone();
+    match kind {
+        0 => Box::new(LevelBased::new(dag)),
+        1 => Box::new(LogicBlox::new(dag)),
+        2 => Box::new(Hybrid::new(dag)),
+        _ => Box::new(SignalPropagation::new(dag)),
+    }
+}
+
+fn edit_batches(edits: &[(bool, usize, usize)]) -> Vec<Vec<FactEdit>> {
+    edits
+        .chunks(4)
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|&(add, a, b)| {
+                    let args = [format!("n{a}"), format!("n{b}")];
+                    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+                    if add {
+                        FactEdit::add("edge", &args)
+                    } else {
+                        FactEdit::remove("edge", &args)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Snapshot isolation under every scheduler: for each edit batch,
+/// 1. a snapshot pinned mid-cascade is bit-identical to the pre-update
+///    database,
+/// 2. a snapshot pinned after the publish is bit-identical to the head
+///    and to a sequential (LevelBased) reference run over the same
+///    edits.
+fn assert_snapshot_isolation(
+    rules: &str,
+    edges: &[(usize, usize)],
+    edits: &[(bool, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let src = program_src(rules, edges);
+    let batches = edit_batches(edits);
+
+    // Sequential reference: one image per committed batch.
+    let mut reference = IncrementalEngine::new(&src).expect("valid program");
+    let ref_images: Vec<Vec<String>> = batches
+        .iter()
+        .map(|fe| {
+            let mut s = LevelBased::new(reference.dag().clone());
+            reference.update(&mut s, fe).expect("valid edit");
+            reference.database().image_at(None)
+        })
+        .collect();
+
+    for kind in 0..4 {
+        let mut e = IncrementalEngine::new(&src).expect("valid program");
+        for (step, fe) in batches.iter().enumerate() {
+            let pre = e.database().image_at(None);
+            let pre_epoch = e.epoch();
+            let mut s = PinAtFirstPop {
+                inner: make_scheduler(&e, kind),
+                reader: e.reader(),
+                snap: None,
+            };
+            e.update(&mut s, fe).expect("valid edit");
+            if let Some(mid) = s.snap.take() {
+                prop_assert_eq!(mid.epoch(), pre_epoch, "mid-cascade pin epoch");
+                prop_assert_eq!(
+                    mid.image(),
+                    pre.clone(),
+                    "mid-cascade snapshot != pre-update db (scheduler {}, step {})",
+                    kind,
+                    step
+                );
+            }
+            let post = e.begin_snapshot();
+            prop_assert_eq!(
+                post.image(),
+                e.database().image_at(None),
+                "post-publish snapshot != head (scheduler {}, step {})",
+                kind,
+                step
+            );
+            prop_assert_eq!(
+                post.image(),
+                ref_images[step].clone(),
+                "post-publish snapshot != sequential reference (scheduler {}, step {})",
+                kind,
+                step
+            );
+        }
+    }
+    Ok(())
+}
+
 fn edges_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
     proptest::collection::vec((0usize..6, 0usize..6), 0..14)
 }
@@ -137,5 +280,33 @@ proptest! {
         edits in edits_strategy(),
     ) {
         assert_equivalent(TRI_RULES, &["edge", "tri", "path"], &edges, &edits)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshots_isolate_transitive_closure(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_snapshot_isolation(TC_RULES, &edges, &edits)?;
+    }
+
+    #[test]
+    fn snapshots_isolate_negation(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_snapshot_isolation(NEG_RULES, &edges, &edits)?;
+    }
+
+    #[test]
+    fn snapshots_isolate_multi_bound_joins(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_snapshot_isolation(TRI_RULES, &edges, &edits)?;
     }
 }

@@ -67,6 +67,17 @@ pub fn parse_pattern(src: &str) -> Result<(String, Vec<Pat>), String> {
 
 /// All tuples of `pred` matching the pattern, sorted for determinism.
 pub fn query(db: &Database, pred: &str, pattern: &[Pat]) -> Vec<Tuple> {
+    query_filtered(db, pred, pattern, None)
+}
+
+/// [`query`] against the consistent cut at a pinned snapshot epoch —
+/// the read path [`crate::mvcc::Snapshot`] serves while the head
+/// version is mid-cascade.
+pub fn query_at(db: &Database, pred: &str, pattern: &[Pat], epoch: u64) -> Vec<Tuple> {
+    query_filtered(db, pred, pattern, Some(epoch))
+}
+
+fn query_filtered(db: &Database, pred: &str, pattern: &[Pat], at: Option<u64>) -> Vec<Tuple> {
     let Some(id) = db.pred_id(pred) else {
         return Vec::new();
     };
@@ -74,11 +85,11 @@ pub fn query(db: &Database, pred: &str, pattern: &[Pat]) -> Vec<Tuple> {
     if rel.arity() != pattern.len() {
         return Vec::new();
     }
-    let mut out: Vec<Tuple> = rel
-        .iter()
-        .filter(|t| t.iter().zip(pattern).all(|(&v, p)| p.matches(v, db)))
-        .cloned()
-        .collect();
+    let keep = |t: &&Tuple| t.iter().zip(pattern).all(|(&v, p)| p.matches(v, db));
+    let mut out: Vec<Tuple> = match at {
+        None => rel.iter().filter(keep).cloned().collect(),
+        Some(e) => rel.iter_at(e).filter(keep).cloned().collect(),
+    };
     out.sort();
     out
 }

@@ -7,9 +7,35 @@
 //! incrementally on insert/remove. Duplicate inserts and misses touch
 //! only the membership chain — the tuple is hashed once and no index is
 //! disturbed unless the extent actually changes.
+//!
+//! ## Epoch versioning (MVCC)
+//!
+//! Every row carries `born`/`died` epoch stamps so the arena is a
+//! multi-version store. The database has a *published* epoch `P`; all
+//! mutations stamp at the *open* epoch `P + 1`:
+//!
+//! * insert ⇒ a fresh row with `born = P + 1`, `died = NEVER`;
+//! * remove ⇒ a tombstone: the row's `died` is set to `P + 1`, the
+//!   tuple stays in the arena, the membership chain, and every index.
+//!
+//! Head reads (the writer's view — everything evaluation does) see rows
+//! with `died == NEVER`. A snapshot pinned at epoch `E` sees rows with
+//! `born <= E < died`, so a reader holding `E = P` observes the last
+//! published cut bit-for-bit no matter what the open epoch scribbles.
+//! [`Database::publish`] turns the open epoch into the published one —
+//! that is the *only* point at which concurrent snapshots can observe a
+//! new state.
+//!
+//! Reclamation is deferred: tombstoned rows queue in a graveyard
+//! (ordered by `died`, which is monotone) and [`Relation::vacuum`]
+//! recycles them onto the free list only once `died <= watermark`,
+//! where the watermark is `min(published, min pinned epoch)` — i.e. no
+//! live or future snapshot can still see the row. Until then the row id
+//! is *not* reused, so a pinned reader can never observe an aliased
+//! tuple through a recycled slot.
 
 use crate::value::{Interner, Tuple, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// Dense predicate handle.
@@ -24,6 +50,9 @@ impl PredId {
 
 /// Row handle inside one relation's arena.
 type Row = u32;
+
+/// `died` stamp of a row that is live at head.
+const NEVER: u64 = u64::MAX;
 
 /// Pass-through hasher for keys that already are hashes (the membership
 /// chain map is keyed by the tuple's own 64-bit hash).
@@ -52,7 +81,30 @@ fn tuple_hash(t: &[Value]) -> u64 {
     h.finish()
 }
 
+/// One arena slot: the tuple plus its visibility interval. `tuple` is
+/// `None` only after a vacuum (the slot sits on the free list).
+#[derive(Clone, Debug)]
+struct Slot {
+    tuple: Option<Tuple>,
+    born: u64,
+    died: u64,
+}
+
+impl Slot {
+    #[inline]
+    fn live_at_head(&self) -> bool {
+        self.died == NEVER
+    }
+
+    #[inline]
+    fn visible_at(&self, epoch: u64) -> bool {
+        self.born <= epoch && epoch < self.died
+    }
+}
+
 /// One secondary index: rows grouped by their projection onto `cols`.
+/// Buckets hold every non-vacuumed row (live *and* tombstoned); probes
+/// filter by visibility, so one index serves head and snapshot reads.
 #[derive(Clone, Debug, Default)]
 struct SecondaryIndex {
     cols: Vec<usize>,
@@ -84,37 +136,76 @@ impl SecondaryIndex {
 /// A set of tuples of fixed arity. The arena (`rows` + `free`) owns every
 /// tuple; `lookup` chains row ids by tuple hash for O(1) membership; each
 /// entry of `indices` groups row ids by a bound-column projection for
-/// O(bucket) join probes.
-#[derive(Clone, Debug, Default)]
+/// O(bucket) join probes. Rows are epoch-stamped — see the module docs
+/// for the visibility and reclamation rules.
+#[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    rows: Vec<Option<Tuple>>,
+    rows: Vec<Slot>,
     free: Vec<Row>,
+    /// Tombstoned rows in `died` order (epochs only grow, so push_back
+    /// keeps this sorted); `vacuum` pops the reclaimable prefix.
+    graveyard: VecDeque<Row>,
     live: usize,
+    /// The open epoch mutations stamp at (`Database` keeps this synced
+    /// to `published + 1`; standalone relations never publish, so any
+    /// value is consistent for pure head use).
+    write_epoch: u64,
     lookup: HashMap<u64, Vec<Row>, BuildHasherDefault<IdentityHasher>>,
     indices: HashMap<Vec<usize>, SecondaryIndex>,
 }
 
-/// A resolved index probe: the rows matching one key (possibly none).
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::new(0)
+    }
+}
+
+/// A resolved index probe: the rows matching one key (possibly none),
+/// filtered by visibility — at head (`at == None`) or at a pinned
+/// snapshot epoch.
 pub struct Probe<'a> {
     rel: &'a Relation,
     bucket: &'a [Row],
+    at: Option<u64>,
 }
 
 impl<'a> Probe<'a> {
+    #[inline]
+    fn visible(rel: &Relation, r: Row, at: Option<u64>) -> bool {
+        let s = &rel.rows[r as usize];
+        match at {
+            None => s.live_at_head(),
+            Some(e) => s.visible_at(e),
+        }
+    }
+
+    /// Visible rows under this probe's epoch (O(bucket): tombstones in
+    /// the bucket are skipped, not counted).
     pub fn len(&self) -> usize {
-        self.bucket.len()
+        let (rel, at) = (self.rel, self.at);
+        self.bucket
+            .iter()
+            .filter(|&&r| Self::visible(rel, r, at))
+            .count()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.bucket.is_empty()
+        let (rel, at) = (self.rel, self.at);
+        !self.bucket.iter().any(|&r| Self::visible(rel, r, at))
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> + 'a {
-        let rel = self.rel;
+        let (rel, at) = (self.rel, self.at);
         self.bucket
             .iter()
-            .map(move |&r| rel.rows[r as usize].as_ref().expect("indexed row is live"))
+            .filter(move |&&r| Self::visible(rel, r, at))
+            .map(move |&r| {
+                rel.rows[r as usize]
+                    .tuple
+                    .as_ref()
+                    .expect("visible row holds its tuple")
+            })
     }
 }
 
@@ -122,7 +213,13 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            ..Relation::default()
+            rows: Vec::new(),
+            free: Vec::new(),
+            graveyard: VecDeque::new(),
+            live: 0,
+            write_epoch: 1,
+            lookup: HashMap::default(),
+            indices: HashMap::new(),
         }
     }
 
@@ -130,39 +227,75 @@ impl Relation {
         self.arity
     }
 
+    /// The epoch mutations currently stamp at.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Move the stamp epoch forward (no-op if `epoch` is not larger —
+    /// stamps must stay monotone or the graveyard order breaks).
+    pub(crate) fn set_write_epoch(&mut self, epoch: u64) {
+        if epoch > self.write_epoch {
+            self.write_epoch = epoch;
+        }
+    }
+
+    /// Tombstoned rows still held for snapshot readers.
+    pub fn retained(&self) -> usize {
+        self.graveyard.len()
+    }
+
+    /// Total arena slots (live + tombstoned + free) — growth diagnostics.
+    pub fn arena_len(&self) -> usize {
+        self.rows.len()
+    }
+
     fn find_row(&self, t: &[Value]) -> Option<Row> {
         let chain = self.lookup.get(&tuple_hash(t))?;
-        chain
-            .iter()
-            .copied()
-            .find(|&r| self.rows[r as usize].as_deref() == Some(t))
+        chain.iter().copied().find(|&r| {
+            let s = &self.rows[r as usize];
+            s.live_at_head() && s.tuple.as_deref() == Some(t)
+        })
     }
 
     /// Insert; true if new. Panics on arity mismatch (an engine bug, not
     /// a data error — arities are validated at parse time). Duplicates
     /// hash once and leave every index untouched.
+    ///
+    /// A re-insert after a same-tuple tombstone allocates a *new* row:
+    /// the tombstone keeps serving pinned snapshots, the new row carries
+    /// the head extent, and visibility filtering guarantees at most one
+    /// of them is seen at any single epoch.
     pub fn insert(&mut self, t: Tuple) -> bool {
         assert_eq!(t.len(), self.arity, "arity mismatch on insert");
         let h = tuple_hash(&t);
         if let Some(chain) = self.lookup.get(&h) {
-            if chain
-                .iter()
-                .any(|&r| self.rows[r as usize].as_deref() == Some(t.as_slice()))
-            {
+            if chain.iter().any(|&r| {
+                let s = &self.rows[r as usize];
+                s.live_at_head() && s.tuple.as_deref() == Some(t.as_slice())
+            }) {
                 return false;
             }
         }
+        let slot = Slot {
+            tuple: Some(t),
+            born: self.write_epoch,
+            died: NEVER,
+        };
         let row = match self.free.pop() {
             Some(r) => {
-                self.rows[r as usize] = Some(t);
+                self.rows[r as usize] = slot;
                 r
             }
             None => {
-                self.rows.push(Some(t));
+                self.rows.push(slot);
                 (self.rows.len() - 1) as Row
             }
         };
-        let stored = self.rows[row as usize].as_deref().expect("just stored");
+        let stored = self.rows[row as usize]
+            .tuple
+            .as_deref()
+            .expect("just stored");
         for idx in self.indices.values_mut() {
             idx.insert(stored, row);
         }
@@ -172,33 +305,56 @@ impl Relation {
     }
 
     /// Remove; true if present. Misses hash once and leave every index
-    /// untouched.
+    /// untouched. Presence removal is a tombstone write (`died` stamped
+    /// at the open epoch): the row stays in the arena, chain, and
+    /// indices for pinned snapshot readers until [`Self::vacuum`]
+    /// reclaims it past the watermark.
     pub fn remove(&mut self, t: &[Value]) -> bool {
-        let h = tuple_hash(t);
-        let Some(chain) = self.lookup.get_mut(&h) else {
+        let Some(row) = self.find_row(t) else {
             return false;
         };
-        let Some(pos) = chain
-            .iter()
-            .position(|&r| self.rows[r as usize].as_deref() == Some(t))
-        else {
-            return false;
-        };
-        let row = chain.swap_remove(pos);
-        if chain.is_empty() {
-            self.lookup.remove(&h);
-        }
-        let tuple = self.rows[row as usize].take().expect("live row");
-        for idx in self.indices.values_mut() {
-            idx.remove(&tuple, row);
-        }
-        self.free.push(row);
+        self.rows[row as usize].died = self.write_epoch;
+        self.graveyard.push_back(row);
         self.live -= 1;
         true
     }
 
+    /// Recycle every tombstone no snapshot at or after `watermark + 1`
+    /// can see (`died <= watermark`): unlink it from the membership
+    /// chain and all indices, drop the tuple, and push the row id onto
+    /// the free list. Returns the number of rows reclaimed.
+    pub fn vacuum(&mut self, watermark: u64) -> usize {
+        let mut reclaimed = 0;
+        while let Some(&row) = self.graveyard.front() {
+            if self.rows[row as usize].died > watermark {
+                break; // graveyard is died-ordered: nothing further qualifies
+            }
+            self.graveyard.pop_front();
+            let tuple = self.rows[row as usize]
+                .tuple
+                .take()
+                .expect("tombstoned row holds its tuple");
+            let h = tuple_hash(&tuple);
+            if let Some(chain) = self.lookup.get_mut(&h) {
+                if let Some(pos) = chain.iter().position(|&r| r == row) {
+                    chain.swap_remove(pos);
+                }
+                if chain.is_empty() {
+                    self.lookup.remove(&h);
+                }
+            }
+            for idx in self.indices.values_mut() {
+                idx.remove(&tuple, row);
+            }
+            self.free.push(row);
+            reclaimed += 1;
+        }
+        reclaimed
+    }
+
     /// Build the secondary index over `cols` if absent; true if it was
-    /// built now (callers meter index builds).
+    /// built now (callers meter index builds). Tombstoned rows are
+    /// indexed too — they must stay probe-able at snapshot epochs.
     pub fn ensure_index(&mut self, cols: &[usize]) -> bool {
         assert!(
             !cols.is_empty() && cols.iter().all(|&c| c < self.arity),
@@ -213,7 +369,7 @@ impl Relation {
             buckets: HashMap::new(),
         };
         for (r, slot) in self.rows.iter().enumerate() {
-            if let Some(t) = slot {
+            if let Some(t) = &slot.tuple {
                 idx.insert(t, r as Row);
             }
         }
@@ -230,7 +386,8 @@ impl Relation {
     }
 
     /// Total row references held by the index over `cols` (None when the
-    /// index does not exist). Every live row appears exactly once.
+    /// index does not exist). Counts live *and* tombstoned rows — every
+    /// non-vacuumed row appears exactly once.
     pub fn index_entries(&self, cols: &[usize]) -> Option<usize> {
         self.indices
             .get(cols)
@@ -238,12 +395,26 @@ impl Relation {
     }
 
     /// Probe the secondary index over `cols` with `key` (the values of
-    /// those columns, in `cols` order). `None` when no such index exists —
-    /// the caller falls back to a scan.
+    /// those columns, in `cols` order), seeing the head extent. `None`
+    /// when no such index exists — the caller falls back to a scan.
     pub fn probe(&self, cols: &[usize], key: &[Value]) -> Option<Probe<'_>> {
+        self.probe_filtered(cols, key, None)
+    }
+
+    /// [`Self::probe`] at a pinned snapshot epoch: the same index, the
+    /// same join plans, just a different visibility filter.
+    pub fn probe_at(&self, cols: &[usize], key: &[Value], epoch: u64) -> Option<Probe<'_>> {
+        self.probe_filtered(cols, key, Some(epoch))
+    }
+
+    fn probe_filtered(&self, cols: &[usize], key: &[Value], at: Option<u64>) -> Option<Probe<'_>> {
         let idx = self.indices.get(cols)?;
         let bucket = idx.buckets.get(key).map_or(&[][..], Vec::as_slice);
-        Some(Probe { rel: self, bucket })
+        Some(Probe {
+            rel: self,
+            bucket,
+            at,
+        })
     }
 
     /// Tuples whose first column equals `v`.
@@ -255,8 +426,24 @@ impl Relation {
         self.find_row(t).is_some()
     }
 
+    /// Membership at a pinned snapshot epoch.
+    pub fn contains_at(&self, t: &[Value], epoch: u64) -> bool {
+        let Some(chain) = self.lookup.get(&tuple_hash(t)) else {
+            return false;
+        };
+        chain.iter().any(|&r| {
+            let s = &self.rows[r as usize];
+            s.visible_at(epoch) && s.tuple.as_deref() == Some(t)
+        })
+    }
+
     pub fn len(&self) -> usize {
         self.live
+    }
+
+    /// Cardinality at a pinned snapshot epoch (O(arena)).
+    pub fn len_at(&self, epoch: u64) -> usize {
+        self.iter_at(epoch).count()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -264,12 +451,36 @@ impl Relation {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.rows.iter().filter_map(Option::as_ref)
+        self.rows.iter().filter_map(|s| {
+            if s.live_at_head() {
+                s.tuple.as_ref()
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Tuples visible at a pinned snapshot epoch.
+    pub fn iter_at(&self, epoch: u64) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter().filter_map(move |s| {
+            if s.visible_at(epoch) {
+                s.tuple.as_ref()
+            } else {
+                None
+            }
+        })
     }
 
     /// Tuples in sorted order (deterministic output for tests/display).
     pub fn sorted(&self) -> Vec<Tuple> {
         let mut v: Vec<Tuple> = self.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// [`Self::sorted`] at a pinned snapshot epoch.
+    pub fn sorted_at(&self, epoch: u64) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.iter_at(epoch).cloned().collect();
         v.sort();
         v
     }
@@ -288,18 +499,49 @@ impl FromIterator<Tuple> for Relation {
     }
 }
 
-/// All predicates and their extents, plus the symbol interner.
+/// All predicates and their extents, plus the symbol interner and the
+/// published epoch snapshots pin (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     pub interner: Interner,
     ids: HashMap<String, PredId>,
     names: Vec<String>,
     rels: Vec<Relation>,
+    /// Last published epoch; mutations stamp at `epoch + 1`.
+    epoch: u64,
 }
 
 impl Database {
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The published epoch — what [`Self::publish`] last committed and
+    /// what a new snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Commit the open epoch: everything stamped since the previous
+    /// publish becomes visible to snapshots pinned from now on, then
+    /// each relation vacuums tombstones past the watermark
+    /// `min(published, min_pinned)` — pass `u64::MAX` for `min_pinned`
+    /// when no snapshot is live. Returns the new published epoch.
+    pub fn publish(&mut self, min_pinned: u64) -> u64 {
+        self.epoch += 1;
+        let watermark = min_pinned.min(self.epoch);
+        let open = self.epoch + 1;
+        for rel in &mut self.rels {
+            rel.set_write_epoch(open);
+            rel.vacuum(watermark);
+        }
+        self.epoch
+    }
+
+    /// Tombstoned rows currently retained for snapshot readers, across
+    /// all relations (the `mvcc.rows_retained` gauge).
+    pub fn rows_retained(&self) -> usize {
+        self.rels.iter().map(Relation::retained).sum()
     }
 
     /// Register (or fetch) a predicate with the given arity.
@@ -315,7 +557,9 @@ impl Database {
         let id = PredId(self.names.len() as u32);
         self.ids.insert(name.to_string(), id);
         self.names.push(name.to_string());
-        self.rels.push(Relation::new(arity));
+        let mut rel = Relation::new(arity);
+        rel.set_write_epoch(self.epoch + 1);
+        self.rels.push(rel);
         id
     }
 
@@ -336,8 +580,14 @@ impl Database {
         &self.rels[id.index()]
     }
 
+    /// Mutable relation access. Re-syncs the relation's write epoch to
+    /// the open epoch first, so a relation swapped in wholesale (or a
+    /// stale clone) self-heals before its next mutation.
     pub fn rel_mut(&mut self, id: PredId) -> &mut Relation {
-        &mut self.rels[id.index()]
+        let open = self.epoch + 1;
+        let rel = &mut self.rels[id.index()];
+        rel.set_write_epoch(open);
+        rel
     }
 
     /// Intern a symbolic constant.
@@ -349,28 +599,43 @@ impl Database {
     pub fn insert_fact(&mut self, pred: &str, args: &[&str]) -> bool {
         let tuple: Tuple = args.iter().map(|a| self.sym(a)).collect();
         let id = self.pred(pred, args.len());
-        self.rels[id.index()].insert(tuple)
+        self.rel_mut(id).insert(tuple)
     }
 
     /// Convenience: check a fact given symbol texts (false if any symbol
     /// or the predicate is unknown).
     pub fn has_fact(&self, pred: &str, args: &[&str]) -> bool {
-        let Some(id) = self.pred_id(pred) else {
-            return false;
-        };
+        match self.fact_tuple(pred, args) {
+            Some((id, tuple)) => self.rel(id).contains(&tuple),
+            None => false,
+        }
+    }
+
+    /// [`Self::has_fact`] at a pinned snapshot epoch.
+    pub fn has_fact_at(&self, pred: &str, args: &[&str], epoch: u64) -> bool {
+        match self.fact_tuple(pred, args) {
+            Some((id, tuple)) => self.rel(id).contains_at(&tuple, epoch),
+            None => false,
+        }
+    }
+
+    fn fact_tuple(&self, pred: &str, args: &[&str]) -> Option<(PredId, Tuple)> {
+        let id = self.pred_id(pred)?;
         let mut tuple = Tuple::with_capacity(args.len());
         for a in args {
-            match self.interner.get(a) {
-                Some(s) => tuple.push(Value::Sym(s)),
-                None => return false,
-            }
+            tuple.push(Value::Sym(self.interner.get(a)?));
         }
-        self.rel(id).contains(&tuple)
+        Some((id, tuple))
     }
 
     /// Total tuples across all predicates.
     pub fn total_facts(&self) -> usize {
         self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Total tuples visible at a pinned snapshot epoch.
+    pub fn total_facts_at(&self, epoch: u64) -> usize {
+        self.rels.iter().map(|r| r.len_at(epoch)).sum()
     }
 }
 
@@ -464,8 +729,16 @@ mod tests {
         assert_eq!(r.probe(&[1], &[Value::Int(7)]).unwrap().len(), 2);
         assert!(r.remove(&[Value::Int(1), Value::Int(7)]));
         assert_eq!(r.probe(&[1], &[Value::Int(7)]).unwrap().len(), 1);
-        // Arena slot reuse keeps indices consistent.
+        // The tombstone stays indexed (snapshot readers may need it)
+        // until a vacuum past its death epoch reclaims the slot.
+        assert_eq!(r.index_entries(&[1]), Some(2));
+        assert_eq!(r.retained(), 1);
+        assert_eq!(r.vacuum(u64::MAX), 1);
+        assert_eq!(r.index_entries(&[1]), Some(1));
+        // The freed arena slot is reused; indices stay consistent.
+        let before = r.arena_len();
         r.insert(vec![Value::Int(3), Value::Int(8)]);
+        assert_eq!(r.arena_len(), before, "vacuumed slot recycled");
         assert_eq!(r.probe(&[1], &[Value::Int(8)]).unwrap().len(), 1);
         assert_eq!(r.index_entries(&[1]), Some(2));
     }
@@ -519,5 +792,95 @@ mod tests {
                 vec![Value::Int(3)]
             ]
         );
+    }
+
+    #[test]
+    fn snapshot_visibility_tracks_epochs() {
+        let mut r = Relation::new(1);
+        let t1 = vec![Value::Int(1)];
+        let t2 = vec![Value::Int(2)];
+        r.insert(t1.clone()); // born 1
+        r.set_write_epoch(2); // "publish" epoch 1
+        r.remove(&t1); // died 2
+        r.insert(t2.clone()); // born 2
+        // Head: only t2.
+        assert!(!r.contains(&t1));
+        assert!(r.contains(&t2));
+        // Snapshot at epoch 1: only t1 (pre-publish cut).
+        assert!(r.contains_at(&t1, 1));
+        assert!(!r.contains_at(&t2, 1));
+        assert_eq!(r.sorted_at(1), vec![t1.clone()]);
+        // Snapshot at epoch 2: only t2.
+        assert!(!r.contains_at(&t1, 2));
+        assert!(r.contains_at(&t2, 2));
+        // Epoch 0 predates everything.
+        assert_eq!(r.len_at(0), 0);
+    }
+
+    #[test]
+    fn vacuum_respects_watermark() {
+        let mut r = Relation::new(1);
+        let t = vec![Value::Int(7)];
+        r.insert(t.clone()); // born 1
+        r.set_write_epoch(2);
+        r.remove(&t); // died 2
+        assert_eq!(r.retained(), 1);
+        // A snapshot pinned at epoch 1 can still see the row: a vacuum
+        // at watermark 1 must keep it.
+        assert_eq!(r.vacuum(1), 0);
+        assert!(r.contains_at(&t, 1));
+        // Once the minimum pin moves to 2, the row is invisible at every
+        // reachable epoch and gets reclaimed.
+        assert_eq!(r.vacuum(2), 1);
+        assert_eq!(r.retained(), 0);
+        assert!(!r.contains_at(&t, 1), "vacuumed row is gone everywhere");
+        assert_eq!(r.free.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_tombstone_is_one_row_per_epoch() {
+        let mut r = Relation::new(1);
+        r.ensure_index(&[0]);
+        let t = vec![Value::Int(5)];
+        r.insert(t.clone()); // born 1
+        r.set_write_epoch(2);
+        r.remove(&t); // died 2
+        r.insert(t.clone()); // born 2, new row
+        assert_eq!(r.len(), 1);
+        // Exactly one visible match at head and at each epoch, even
+        // though the arena and index hold two rows for the tuple.
+        assert_eq!(r.probe(&[0], &[Value::Int(5)]).unwrap().len(), 1);
+        assert_eq!(r.probe_at(&[0], &[Value::Int(5)], 1).unwrap().len(), 1);
+        assert_eq!(r.probe_at(&[0], &[Value::Int(5)], 2).unwrap().len(), 1);
+        assert_eq!(r.index_entries(&[0]), Some(2));
+        assert!(r.contains_at(&t, 1));
+        assert!(r.contains_at(&t, 2));
+    }
+
+    #[test]
+    fn database_publish_bumps_epoch_and_vacuums() {
+        let mut db = Database::new();
+        db.insert_fact("edge", &["a", "b"]); // born 1
+        assert_eq!(db.epoch(), 0);
+        assert!(!db.has_fact_at("edge", &["a", "b"], 0), "not yet published");
+        assert_eq!(db.publish(u64::MAX), 1);
+        assert!(db.has_fact_at("edge", &["a", "b"], 1));
+
+        let id = db.pred_id("edge").unwrap();
+        let t: Tuple = vec![
+            Value::Sym(db.interner.get("a").unwrap()),
+            Value::Sym(db.interner.get("b").unwrap()),
+        ];
+        db.rel_mut(id).remove(&t); // died 2
+        assert!(db.has_fact_at("edge", &["a", "b"], 1), "pinned cut intact");
+        // Publish with a reader still pinned at epoch 1: tombstone kept.
+        assert_eq!(db.publish(1), 2);
+        assert_eq!(db.rows_retained(), 1);
+        assert!(db.has_fact_at("edge", &["a", "b"], 1));
+        assert!(!db.has_fact_at("edge", &["a", "b"], 2));
+        // Reader gone: next publish reclaims.
+        db.publish(u64::MAX);
+        assert_eq!(db.rows_retained(), 0);
+        assert_eq!(db.total_facts(), 0);
     }
 }

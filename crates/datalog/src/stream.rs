@@ -22,6 +22,12 @@
 //!   engine's apply-time no-op detection — the final edit per tuple is
 //!   exactly what a serial application would have left the base table
 //!   with, so the net delta (and hence the materialization) is identical.
+//!
+//! Each drained-and-applied batch is also the stream's MVCC **publish
+//! point**: a successful [`crate::IncrementalEngine::update`] publishes
+//! one epoch, so snapshot readers observe whole coalesced batches —
+//! never a half-applied net delta (see `engine::publish` and
+//! `run_stream_committed`'s per-commit hook).
 
 use crate::engine::FactEdit;
 use incr_obs::registry;

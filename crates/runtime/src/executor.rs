@@ -827,7 +827,32 @@ impl Executor {
         updates: &[StreamUpdate],
         task: TryTaskFn,
         policy: &StreamPolicy,
+        journal: Option<&mut UpdateJournal>,
+    ) -> Result<StreamReport, Box<StreamError>> {
+        self.run_stream_committed(scheduler, dag, updates, task, policy, journal, &mut |_| {})
+    }
+
+    /// [`Executor::run_stream_with`] plus an `on_commit` hook invoked at
+    /// every *committed batch boundary* — after the batch's cascade
+    /// quiesced and its journal entries were cleared, before the next
+    /// batch is admitted. This is the stream's publish point: an
+    /// epoch-versioned store (e.g. the Datalog engine's MVCC database)
+    /// bumps its published epoch here, so concurrent snapshot readers
+    /// advance exactly once per coalesced batch, never mid-cascade. The
+    /// hook receives the number of source updates the committed batch
+    /// coalesced. Failed batches never reach the hook (nothing is
+    /// published; the journal keeps their committed executions for
+    /// replay).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stream_committed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        dag: &Arc<Dag>,
+        updates: &[StreamUpdate],
+        task: TryTaskFn,
+        policy: &StreamPolicy,
         mut journal: Option<&mut UpdateJournal>,
+        on_commit: &mut dyn FnMut(usize),
     ) -> Result<StreamReport, Box<StreamError>> {
         assert!(policy.max_coalesce >= 1);
         debug_assert!(
@@ -904,6 +929,7 @@ impl Executor {
                         if let Some(j) = journal.as_deref_mut() {
                             j.clear();
                         }
+                        on_commit(members.len());
                         let done_at = t0.elapsed();
                         let dur = u0.elapsed().as_secs_f64();
                         for &idx in &members {
@@ -2150,6 +2176,33 @@ mod tests {
         assert_eq!(report.executed, 12);
         assert_eq!(report.latency_seconds.len(), 10);
         assert_eq!(report.update_seconds.len(), 10);
+    }
+
+    /// The publish hook fires once per committed batch, after the
+    /// cascade quiesced, with the batch's coalesced-update count — the
+    /// contract an epoch-versioned store relies on to bump its published
+    /// epoch at batch boundaries only.
+    #[test]
+    fn commit_hook_fires_once_per_committed_batch() {
+        let dag = diamond();
+        let mut s = LevelBased::new(dag.clone());
+        let updates: Vec<StreamUpdate> = (0..10)
+            .map(|i| StreamUpdate::now(vec![NodeId(i % 2)]))
+            .collect();
+        let mut commits: Vec<usize> = Vec::new();
+        let report = Executor::new(2)
+            .run_stream_committed(
+                &mut s,
+                &dag,
+                &updates,
+                infallible(fire_all(&dag)),
+                &StreamPolicy::coalesced(4),
+                None,
+                &mut |members| commits.push(members),
+            )
+            .unwrap();
+        assert_eq!(commits.len(), report.batches, "one publish per batch");
+        assert_eq!(commits.iter().sum::<usize>(), report.updates);
     }
 
     /// Pipelining alone (no coalescing) must not change what executes.
