@@ -1,0 +1,239 @@
+//! Shard-scaling benchmark: the same TC + multi-bound-join workload
+//! driven through [`ShardedEngine`] at 1, 2, 4 and 8 shards, measuring
+//! update throughput and the scaling ratio against the 1-shard run
+//! (same code path, so partitioning overheads cancel out of the ratio).
+//!
+//! The workload is chosen so the rules classify *shard-local*
+//! (left-recursive closure anchored on the head's first variable, plus
+//! an anchored triangle join): each shard re-derives only its owned
+//! source slice against an exact `edge` mirror, which is the shape the
+//! sharded runtime is built to scale.
+//!
+//! Results go to `results/shard_scaling.json` (ResultsWriter schema
+//! v1). The `updates_per_sec_x` ratio is always *recorded*; it is only
+//! *asserted* (≥ 1.7× at 2 shards) on a ≥ 4-core host outside smoke
+//! mode, so CI on small runners stays green while real hardware gates
+//! the speedup.
+//!
+//! Usage: `cargo run --release -p incr-bench --bin shard_scaling [--smoke]`
+//!
+//! `--smoke` shrinks the instances for CI and adds a sharded ≡
+//! unsharded equivalence check (extents compared per batch) in place of
+//! the perf gate.
+
+use incr_bench::{fmt_secs, ResultsWriter, Table};
+use incr_datalog::{FactEdit, IncrementalEngine, ShardedEngine};
+use incr_obs::json::obj;
+use incr_sched::{LevelBased, Scheduler};
+use std::time::Instant;
+
+/// Deterministic LCG (same constants as Numerical Recipes) — the graph
+/// must be identical across runs and shard counts.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+/// Left-recursive closure (anchored on `X`, so it shards by source
+/// node) plus an anchored triangle join — both classify `Local`, with
+/// `edge` held as a mirror on every shard.
+const RULES: &str = "path(X, Y) :- edge(X, Y).\n\
+                     path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                     tri(X, Z) :- edge(X, Y), edge(Y, Z), edge(X, Z).\n";
+
+/// Ring of `n` nodes (one big SCC, closure = n² paths) plus two random
+/// out-edges per node (small diameter, dense triangle candidates).
+fn workload(n: u64) -> (String, Vec<(String, String)>) {
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    let mut src = String::from(RULES);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let mut push = |a: u64, b: u64| {
+            src.push_str(&format!("edge(v{a}, v{b}).\n"));
+            edges.push((format!("v{a}"), format!("v{b}")));
+        };
+        push(i, (i + 1) % n);
+        push(i, rng.next(n));
+        push(i, rng.next(n));
+    }
+    (src, edges)
+}
+
+/// Alternating delete / re-insert batches over `k` spread-out ring
+/// edges: deletions cascade through the closure on every shard's owned
+/// slice (heavy DRed), re-insertions rebuild it.
+fn edit_batches(n: u64, k: u64, cycles: usize) -> Vec<Vec<FactEdit>> {
+    let picks: Vec<(String, String)> = (0..k)
+        .map(|j| {
+            let i = j * (n / k);
+            (format!("v{i}"), format!("v{}", (i + 1) % n))
+        })
+        .collect();
+    let mut batches = Vec::new();
+    for _ in 0..cycles {
+        batches.push(
+            picks
+                .iter()
+                .map(|(a, b)| FactEdit::remove("edge", &[a, b]))
+                .collect(),
+        );
+        batches.push(
+            picks
+                .iter()
+                .map(|(a, b)| FactEdit::add("edge", &[a, b]))
+                .collect(),
+        );
+    }
+    batches
+}
+
+fn make_sched(dag: std::sync::Arc<incr_dag::Dag>) -> Box<dyn Scheduler + Send> {
+    Box::new(LevelBased::new(dag))
+}
+
+struct ShardRun {
+    materialize: f64,
+    wall: f64,
+    updates_per_sec: f64,
+    rounds: usize,
+    exchanged: usize,
+    path_tuples: usize,
+    tri_tuples: usize,
+}
+
+fn run_sharded(src: &str, shards: usize, batches: &[Vec<FactEdit>]) -> ShardRun {
+    let t0 = Instant::now();
+    let mut e = ShardedEngine::new(src, shards, make_sched).expect("valid program");
+    let materialize = t0.elapsed().as_secs_f64();
+
+    let mut rounds = 0;
+    let mut exchanged = 0;
+    let t0 = Instant::now();
+    for batch in batches {
+        let rep = e.update(batch).expect("batch applies");
+        rounds += rep.rounds;
+        exchanged += rep.exchanged_tuples;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    ShardRun {
+        materialize,
+        wall,
+        updates_per_sec: batches.len() as f64 / wall.max(1e-9),
+        rounds,
+        exchanged,
+        path_tuples: e.count("path"),
+        tri_tuples: e.count("tri"),
+    }
+}
+
+/// Smoke-mode gate: a 2-shard run must stay extent-identical to the
+/// unsharded engine on every derived predicate after every batch.
+fn check_equivalence(src: &str, batches: &[Vec<FactEdit>]) {
+    let mut reference = IncrementalEngine::new(src).expect("valid program");
+    let mut sharded = ShardedEngine::new(src, 2, make_sched).expect("valid program");
+    let image = |e: &IncrementalEngine, pat: &str| -> Vec<String> {
+        let mut rows = e.query(pat).expect("query");
+        rows.sort();
+        rows
+    };
+    for (i, batch) in batches.iter().enumerate() {
+        let mut sched = LevelBased::new(reference.dag().clone());
+        reference.update(&mut sched, batch).expect("reference batch applies");
+        sharded.update(batch).expect("sharded batch applies");
+        for (pred, pat) in [("path", "path(?, ?)"), ("tri", "tri(?, ?)")] {
+            let want = image(&reference, pat);
+            let got = sharded.query(pat).expect("sharded query");
+            assert_eq!(
+                got, want,
+                "sharded {pred} diverged from unsharded after batch {i}"
+            );
+            assert_eq!(sharded.count(pred), want.len(), "{pred} count after batch {i}");
+        }
+    }
+    println!("smoke: sharded(2) extents match unsharded over {} batches\n", batches.len());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, k, cycles) = if smoke { (24, 2, 2) } else { (192, 6, 2) };
+    let (src, _edges) = workload(n);
+    let batches = edit_batches(n, k, cycles);
+
+    println!(
+        "Shard scaling: TC + triangle join on ring(n={n}) + 2 random out-edges/node, \
+         {} update batches of {k} edge edits\n",
+        batches.len()
+    );
+    if smoke {
+        check_equivalence(&src, &batches);
+    }
+
+    let mut results = ResultsWriter::new("shard_scaling", 0);
+    let mut table = Table::new(&[
+        "shards",
+        "materialize",
+        "update wall",
+        "updates/s",
+        "vs 1 shard",
+        "rounds",
+        "exchanged",
+        "path",
+    ]);
+    let mut base: Option<f64> = None;
+    let mut ratio_at_2 = None;
+    for &shards in &[1usize, 2, 4, 8] {
+        let run = run_sharded(&src, shards, &batches);
+        let ratio = base.map_or(1.0, |b| run.updates_per_sec / b);
+        if base.is_none() {
+            base = Some(run.updates_per_sec);
+        }
+        if shards == 2 {
+            ratio_at_2 = Some(ratio);
+        }
+        results.push_row(obj([
+            ("trace", format!("tc+tri(n={n})").into()),
+            ("scheduler", "LevelBased".into()),
+            ("shards", (shards as u64).into()),
+            ("batches", (batches.len() as u64).into()),
+            ("materialize_seconds", run.materialize.into()),
+            ("update_wall_seconds", run.wall.into()),
+            ("updates_per_sec", run.updates_per_sec.into()),
+            ("updates_per_sec_x", ratio.into()),
+            ("rounds", (run.rounds as u64).into()),
+            ("exchanged_tuples", (run.exchanged as u64).into()),
+            ("path_tuples", (run.path_tuples as u64).into()),
+            ("tri_tuples", (run.tri_tuples as u64).into()),
+        ]));
+        table.row(vec![
+            shards.to_string(),
+            fmt_secs(run.materialize),
+            fmt_secs(run.wall),
+            format!("{:.1}", run.updates_per_sec),
+            format!("{ratio:.2}x"),
+            run.rounds.to_string(),
+            run.exchanged.to_string(),
+            run.path_tuples.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    results.write_default();
+
+    let cores = incr_bench::results::available_parallelism();
+    let ratio_at_2 = ratio_at_2.expect("2-shard config always runs");
+    if smoke || cores < 4 {
+        println!(
+            "scaling gate skipped (smoke={smoke}, cores={cores}); \
+             2-shard ratio recorded: {ratio_at_2:.2}x"
+        );
+    } else {
+        println!("2-shard scaling on {cores} cores: {ratio_at_2:.2}x (gate: >= 1.7x)");
+        assert!(
+            ratio_at_2 >= 1.7,
+            "2-shard throughput ratio {ratio_at_2:.2}x below the 1.7x gate on a {cores}-core host"
+        );
+    }
+}

@@ -96,7 +96,7 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// Instantiate the scheduler over `dag` (runs any precomputation).
-    pub fn build(self, dag: Arc<Dag>) -> Box<dyn Scheduler> {
+    pub fn build(self, dag: Arc<Dag>) -> Box<dyn Scheduler + Send> {
         match self {
             SchedulerKind::LevelBased => Box::new(LevelBased::new(dag)),
             SchedulerKind::Lookahead(k) => Box::new(LevelBasedLookahead::new(dag, k)),

@@ -61,6 +61,17 @@ pub enum FactEdit {
     Remove { pred: String, args: Vec<String> },
 }
 
+/// A typed base-table edit: values arrive as [`crate::shard::PortableValue`]
+/// instead of strings, so the symbol `"42"` and the integer `42` stay
+/// distinct. This is the cross-shard delta-exchange entry point — mirror
+/// feeds must not re-parse rendered text.
+#[derive(Clone, Debug)]
+pub struct TypedEdit {
+    pub pred: String,
+    pub args: Vec<crate::shard::PortableValue>,
+    pub adding: bool,
+}
+
 impl FactEdit {
     /// `+pred(a, b)` convenience constructor.
     pub fn add(pred: &str, args: &[&str]) -> FactEdit {
@@ -157,10 +168,26 @@ impl IncrementalEngine {
         program: Program,
         opts: EvalOptions,
     ) -> Result<Self, EngineError> {
+        Self::from_program_declared(program, opts, &[])
+    }
+
+    /// [`Self::from_program_with_options`] plus explicit predicate
+    /// declarations. The sharded runtime strips facts out of its
+    /// per-shard programs and pre-declares every original predicate (and
+    /// every mirror), so edit routing and queries never hit an
+    /// unregistered name even when no rewritten rule mentions it.
+    pub(crate) fn from_program_declared(
+        program: Program,
+        opts: EvalOptions,
+        declare: &[(String, usize)],
+    ) -> Result<Self, EngineError> {
         let strat = stratify(&program).map_err(EngineError::Stratify)?;
         let mut db = Database::new();
         let rules = compile_program_with(&program, &mut db, opts.index_mode);
         load_facts(&program, &mut db);
+        for (name, arity) in declare {
+            db.pred(name, *arity);
+        }
         let graph = TaskGraph::build(&strat, &rules, &db);
 
         let node_rules = Self::index_node_rules(&graph, &rules);
@@ -296,6 +323,28 @@ impl IncrementalEngine {
         scheduler: &mut dyn Scheduler,
         edits: &[FactEdit],
     ) -> Result<UpdateReport, EngineError> {
+        self.update_full(scheduler, edits, &[], true, None)
+    }
+
+    /// The general update entry: string edits plus typed edits, with an
+    /// explicit publish decision and optional per-predicate net-delta
+    /// collection.
+    ///
+    /// * `publish: false` leaves the epoch open — the sharded runtime
+    ///   suppresses per-round publishes and commits one epoch per batch
+    ///   across all shards, so snapshots stay consistent cuts.
+    /// * `collect` receives the update's net delta per predicate (each
+    ///   task node executes at most once per update, so the per-node
+    ///   output deltas *are* the nets). On a failed (rolled back) update
+    ///   the map's contents are meaningless and must be discarded.
+    pub(crate) fn update_full(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        edits: &[FactEdit],
+        typed: &[TypedEdit],
+        publish: bool,
+        collect: Option<&mut HashMap<PredId, Delta>>,
+    ) -> Result<UpdateReport, EngineError> {
         // 1. Apply edits to base relations, collecting net deltas. The
         // write lock is scoped to this phase so readers interleave
         // before the cascade starts.
@@ -307,22 +356,7 @@ impl IncrementalEngine {
                     FactEdit::Add { pred, args } => (pred, args, true),
                     FactEdit::Remove { pred, args } => (pred, args, false),
                 };
-                let id = db
-                    .pred_id(pred)
-                    .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
-                if db.rel(id).arity() != args.len() {
-                    return Err(EngineError::Edit(format!(
-                        "{pred} has arity {}, edit has {}",
-                        db.rel(id).arity(),
-                        args.len()
-                    )));
-                }
-                let node = self.graph.node_of_pred[&id];
-                if !matches!(self.graph.kinds[node.index()], NodeKind::Base(_)) {
-                    return Err(EngineError::Edit(format!(
-                        "{pred} is a derived predicate; only base tables can be edited"
-                    )));
-                }
+                let id = Self::base_pred(&db, &self.graph, pred, args.len())?;
                 let tuple: Tuple = args
                     .iter()
                     .map(|a| match a.parse::<i64>() {
@@ -330,24 +364,22 @@ impl IncrementalEngine {
                         Err(_) => db.sym(a),
                     })
                     .collect();
-                let d = base_deltas.entry(id).or_default();
-                if adding {
-                    if db.rel_mut(id).insert(tuple.clone())
-                        && !d.removed.remove(&tuple) {
-                            d.added.insert(tuple);
-                        }
-                } else if db.rel_mut(id).remove(&tuple)
-                    && !d.added.remove(&tuple) {
-                        d.removed.insert(tuple);
-                    }
+                Self::apply_one(&mut db, &mut base_deltas, id, tuple, adding);
+            }
+            for e in typed {
+                let id = Self::base_pred(&db, &self.graph, &e.pred, e.args.len())?;
+                let tuple: Tuple = e.args.iter().map(|v| v.intern(&mut db)).collect();
+                Self::apply_one(&mut db, &mut base_deltas, id, tuple, e.adding);
             }
         }
 
-        // 2. Initially-dirty source nodes.
+        // 2. Initially-dirty source nodes. Declared-only predicates (no
+        // rule mentions them, so no task node) change silently: the edit
+        // is in the relation, nothing downstream can read it.
         let initial: Vec<NodeId> = base_deltas
             .iter()
             .filter(|(_, d)| !d.is_empty())
-            .map(|(p, _)| self.graph.node_of_pred[p])
+            .filter_map(|(p, _)| self.graph.node_of_pred.get(p).copied())
             .collect();
 
         // 3. Drive the scheduler. The base edits applied in step 1 seed
@@ -358,13 +390,69 @@ impl IncrementalEngine {
             .filter(|(_, d)| !d.is_empty())
             .map(|(p, d)| (*p, d.clone()))
             .collect();
-        let report = self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo)?;
+        let report = self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo, collect)?;
         // 4. Committed: publish the new epoch — the one point where
         // concurrent snapshots start seeing this update's effects. A
         // failed drive already rolled back and publishes nothing, so
         // the last published cut stays the pre-update state.
-        self.publish();
+        if publish {
+            self.publish();
+        }
         Ok(report)
+    }
+
+    /// Resolve and validate an editable (base) predicate.
+    fn base_pred(
+        db: &Database,
+        graph: &TaskGraph,
+        pred: &str,
+        arity: usize,
+    ) -> Result<PredId, EngineError> {
+        let id = db
+            .pred_id(pred)
+            .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
+        if db.rel(id).arity() != arity {
+            return Err(EngineError::Edit(format!(
+                "{pred} has arity {}, edit has {}",
+                db.rel(id).arity(),
+                arity
+            )));
+        }
+        // Declared-only predicates have no task node; they are trivially
+        // base (nothing derives into them).
+        if let Some(node) = graph.node_of_pred.get(&id) {
+            if !matches!(graph.kinds[node.index()], NodeKind::Base(_)) {
+                return Err(EngineError::Edit(format!(
+                    "{pred} is a derived predicate; only base tables can be edited"
+                )));
+            }
+        }
+        Ok(id)
+    }
+
+    /// Apply one tuple edit and fold it into the running net delta.
+    fn apply_one(
+        db: &mut Database,
+        base_deltas: &mut HashMap<PredId, Delta>,
+        id: PredId,
+        tuple: Tuple,
+        adding: bool,
+    ) {
+        let d = base_deltas.entry(id).or_default();
+        if adding {
+            if db.rel_mut(id).insert(tuple.clone()) && !d.removed.remove(&tuple) {
+                d.added.insert(tuple);
+            }
+        } else if db.rel_mut(id).remove(&tuple) && !d.added.remove(&tuple) {
+            d.removed.insert(tuple);
+        }
+    }
+
+    /// Commit the open epoch across a batch boundary (sharded runtime's
+    /// batch-end publish point). Equivalent to the publish every
+    /// [`Self::update`] performs.
+    pub(crate) fn publish_now(&mut self) {
+        self.publish();
     }
 
     /// Queue one logical update's edits into `q`, coalescing against the
@@ -382,22 +470,7 @@ impl IncrementalEngine {
             let (pred, args) = match e {
                 FactEdit::Add { pred, args } | FactEdit::Remove { pred, args } => (pred, args),
             };
-            let id = db
-                .pred_id(pred)
-                .ok_or_else(|| EngineError::Edit(format!("unknown predicate {pred}")))?;
-            if db.rel(id).arity() != args.len() {
-                return Err(EngineError::Edit(format!(
-                    "{pred} has arity {}, edit has {}",
-                    db.rel(id).arity(),
-                    args.len()
-                )));
-            }
-            let node = self.graph.node_of_pred[&id];
-            if !matches!(self.graph.kinds[node.index()], NodeKind::Base(_)) {
-                return Err(EngineError::Edit(format!(
-                    "{pred} is a derived predicate; only base tables can be edited"
-                )));
-            }
+            let id = Self::base_pred(&db, &self.graph, pred, args.len())?;
             let tuple: Tuple = args
                 .iter()
                 .map(|a| match a.parse::<i64>() {
@@ -476,6 +549,7 @@ impl IncrementalEngine {
         mut base_deltas: HashMap<PredId, Delta>,
         mut preset: HashMap<NodeId, HashMap<PredId, Delta>>,
         mut undo: Vec<(PredId, Delta)>,
+        mut collect: Option<&mut HashMap<PredId, Delta>>,
     ) -> Result<UpdateReport, EngineError> {
         let mut pending: Vec<HashMap<PredId, Delta>> =
             vec![HashMap::new(); self.graph.dag.node_count()];
@@ -547,6 +621,19 @@ impl IncrementalEngine {
                         .or_insert((0, 0));
                     e.0 += d.added.len();
                     e.1 += d.removed.len();
+                    if let Some(c) = collect.as_deref_mut() {
+                        let net = c.entry(*p).or_default();
+                        for t in &d.added {
+                            if !net.removed.remove(t) {
+                                net.added.insert(t.clone());
+                            }
+                        }
+                        for t in &d.removed {
+                            if !net.added.remove(t) {
+                                net.removed.insert(t.clone());
+                            }
+                        }
+                    }
                 }
             }
             drop(db);
@@ -764,6 +851,7 @@ impl IncrementalEngine {
             HashMap::new(),
             HashMap::from([(node, out)]),
             undo,
+            None,
         )?;
         self.publish();
         Ok(report)

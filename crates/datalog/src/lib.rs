@@ -34,6 +34,7 @@ pub mod par;
 pub mod parser;
 pub mod query;
 pub mod rel;
+pub mod shard;
 pub mod stratify;
 pub mod stream;
 pub mod taskgraph;
@@ -43,12 +44,16 @@ pub mod value;
 mod proptests;
 
 pub use ast::{Atom, Literal, Program, Rule, Term};
-pub use engine::{FactEdit, IncrementalEngine, UpdateReport};
+pub use engine::{FactEdit, IncrementalEngine, TypedEdit, UpdateReport};
 pub use eval::{Access, IndexMode};
 pub use mvcc::{PinRegistry, ReaderHandle, Snapshot};
 pub use par::EvalOptions;
 pub use parser::parse_program;
 pub use query::{parse_pattern, query, query_at, Pat};
 pub use rel::{Database, Relation};
+pub use shard::{
+    shard_of_first, split_by_shard, PortableValue, RuleClass, ShardPlan, ShardUpdateReport,
+    ShardedEngine,
+};
 pub use stream::DeltaQueue;
 pub use value::{Tuple, Value};

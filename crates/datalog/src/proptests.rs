@@ -12,10 +12,13 @@
 use crate::engine::{FactEdit, IncrementalEngine};
 use crate::mvcc::{ReaderHandle, Snapshot};
 use crate::par::EvalOptions;
+use crate::shard::ShardedEngine;
 use crate::value::Tuple;
+use incr_dag::Dag;
 use incr_sched::{CostMeter, Hybrid, LevelBased, LogicBlox, Scheduler, SignalPropagation};
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const TC_RULES: &str = "path(X, Y) :- edge(X, Y).\n\
                         path(X, Z) :- path(X, Y), edge(Y, Z).\n";
@@ -30,6 +33,19 @@ const NEG_RULES: &str = "node(X) :- edge(X, Y).\n\
 const TRI_RULES: &str = "tri(X, Z) :- edge(X, Y), edge(Y, Z), edge(X, Z).\n\
                          path(X, Y) :- edge(X, Y).\n\
                          path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+
+/// Right-recursive closure: the recursive atom is *not* anchored on the
+/// head's first variable, so under sharding the derived `path` relation
+/// itself goes through the cross-shard delta exchange (multiple rounds
+/// per batch, DRed deletions included).
+const RTC_RULES: &str = "path(X, Y) :- edge(X, Y).\n\
+                         path(X, Z) :- edge(X, Y), path(Y, Z).\n";
+
+/// Aggregates under sharding: `deg` is anchored (shard-local fold over
+/// the owned partition), `indeg` groups by the *second* edge column and
+/// is therefore replicated (every shard folds the full mirror).
+const AGG_RULES: &str = "deg(X, count(Y)) :- edge(X, Y).\n\
+                         indeg(Y, count(X)) :- edge(X, Y).\n";
 
 fn program_src(rules: &str, edges: &[(usize, usize)]) -> String {
     let mut src = String::from(rules);
@@ -242,12 +258,113 @@ fn assert_snapshot_isolation(
     Ok(())
 }
 
+fn make_sharded_scheduler(kind: usize) -> impl FnMut(Arc<Dag>) -> Box<dyn Scheduler + Send> {
+    move |dag: Arc<Dag>| -> Box<dyn Scheduler + Send> {
+        match kind {
+            0 => Box::new(LevelBased::new(dag)),
+            1 => Box::new(LogicBlox::new(dag)),
+            2 => Box::new(Hybrid::new(dag)),
+            _ => Box::new(SignalPropagation::new(dag)),
+        }
+    }
+}
+
+fn pattern_for(pred: &str, arity: usize) -> String {
+    format!("{pred}({})", vec!["?"; arity].join(", "))
+}
+
+/// Rendered, sorted extents — interner-independent, so they compare
+/// across engines built from different source orderings.
+fn unsharded_image(e: &IncrementalEngine, preds: &[(&str, usize)]) -> Vec<(String, Vec<String>)> {
+    preds
+        .iter()
+        .map(|&(p, a)| {
+            let mut rows = e.query(&pattern_for(p, a)).expect("valid pattern");
+            rows.sort();
+            (p.to_string(), rows)
+        })
+        .collect()
+}
+
+fn sharded_image(e: &ShardedEngine, preds: &[(&str, usize)]) -> Vec<(String, Vec<String>)> {
+    preds
+        .iter()
+        .map(|&(p, a)| (p.to_string(), e.query(&pattern_for(p, a)).expect("valid pattern")))
+        .collect()
+}
+
+/// Sharded ≡ unsharded: run the same program + edit stream through an
+/// unsharded reference engine and through [`ShardedEngine`] at 2 and 3
+/// shards under every scheduler, comparing the rendered extents of every
+/// predicate after every committed batch (and the ownership-filtered
+/// `count()` against the reference image).
+fn assert_sharded_equivalent(
+    rules: &str,
+    preds: &[(&str, usize)],
+    edges: &[(usize, usize)],
+    edits: &[(bool, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let src = program_src(rules, edges);
+    let batches = edit_batches(edits);
+
+    // Unsharded reference: one image per committed batch (plus initial).
+    let mut reference = IncrementalEngine::new(&src).expect("valid program");
+    let mut ref_images = vec![unsharded_image(&reference, preds)];
+    for fe in &batches {
+        let mut s = LevelBased::new(reference.dag().clone());
+        reference.update(&mut s, fe).expect("valid edit");
+        ref_images.push(unsharded_image(&reference, preds));
+    }
+
+    for kind in 0..4 {
+        for shards in [2usize, 3] {
+            let mut e = ShardedEngine::new(&src, shards, make_sharded_scheduler(kind))
+                .expect("valid program");
+            prop_assert_eq!(
+                &sharded_image(&e, preds),
+                &ref_images[0],
+                "initial materialization differs ({} shards, scheduler {})",
+                shards,
+                kind
+            );
+            for (step, fe) in batches.iter().enumerate() {
+                e.update(fe).expect("valid edit");
+                let img = sharded_image(&e, preds);
+                prop_assert_eq!(
+                    &img,
+                    &ref_images[step + 1],
+                    "extents differ at step {} ({} shards, scheduler {})",
+                    step,
+                    shards,
+                    kind
+                );
+                for (p, rows) in &img {
+                    prop_assert_eq!(
+                        e.count(p),
+                        rows.len(),
+                        "count() disagrees with query() for {} at step {}",
+                        p,
+                        step
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn edges_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
     proptest::collection::vec((0usize..6, 0usize..6), 0..14)
 }
 
 fn edits_strategy() -> impl Strategy<Value = Vec<(bool, usize, usize)>> {
     proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 0..16)
+}
+
+/// ~75% deletions: stresses DRed through the cross-shard exchange.
+fn deletion_heavy_strategy() -> impl Strategy<Value = Vec<(bool, usize, usize)>> {
+    proptest::collection::vec((0u8..4, 0usize..6, 0usize..6), 0..16)
+        .prop_map(|v| v.into_iter().map(|(k, a, b)| (k == 0, a, b)).collect())
 }
 
 proptest! {
@@ -308,5 +425,72 @@ proptest! {
         edits in edits_strategy(),
     ) {
         assert_snapshot_isolation(TRI_RULES, &edges, &edits)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_matches_unsharded_on_transitive_closure(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_sharded_equivalent(TC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_right_recursion(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_sharded_equivalent(RTC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_with_negation(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_sharded_equivalent(
+            NEG_RULES,
+            &[("edge", 2), ("node", 1), ("reach", 1), ("unreach", 1)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_multi_bound_joins(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_sharded_equivalent(
+            TRI_RULES,
+            &[("edge", 2), ("tri", 2), ("path", 2)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_aggregates(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_sharded_equivalent(
+            AGG_RULES,
+            &[("edge", 2), ("deg", 2), ("indeg", 2)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_under_deletion_heavy_stream(
+        edges in edges_strategy(),
+        edits in deletion_heavy_strategy(),
+    ) {
+        assert_sharded_equivalent(RTC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
     }
 }

@@ -217,6 +217,26 @@ impl Slot {
     }
 }
 
+thread_local! {
+    /// The shard this thread is working for: 0 = unsharded/none,
+    /// 1..=N = shard `id - 1` of a sharded runtime. Stored in each
+    /// event's meta word so per-shard attribution survives lane
+    /// recycling (a ring may serve different shards over its lifetime).
+    static SHARD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Tag this thread's subsequent flight events with a shard id
+/// (`shard_index + 1`; 0 means unsharded). Sharded runtimes call this
+/// at the top of each shard worker.
+pub fn set_shard(shard: u64) {
+    SHARD.with(|s| s.set(shard));
+}
+
+/// The current thread's shard tag (0 = unsharded).
+pub fn current_shard() -> u64 {
+    SHARD.try_with(std::cell::Cell::get).unwrap_or(0)
+}
+
 /// A per-thread event ring. Exactly one live thread writes at a time
 /// (enforced by ownership through the thread-local handle); any thread
 /// may read concurrently via the seqlock.
@@ -241,8 +261,11 @@ impl FlightRing {
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h as usize) & (RING_CAPACITY - 1)];
         slot.seq.store(u64::MAX, Ordering::Release);
-        slot.meta
-            .store(code as u64 | ((kind as u64) << 16), Ordering::Relaxed);
+        // Meta packs code (16 bits), kind (8), and shard tag (40).
+        slot.meta.store(
+            code as u64 | ((kind as u64) << 16) | (current_shard() << 24),
+            Ordering::Relaxed,
+        );
         slot.ts.store(ts_us.to_bits(), Ordering::Relaxed);
         slot.dv.store(dv.to_bits(), Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
@@ -425,6 +448,9 @@ pub struct FlightEvent {
     /// Duration (spans) or sample value (counters), µs / unitless.
     pub dv: f64,
     pub arg: u64,
+    /// Shard tag the recording thread carried (0 = unsharded,
+    /// `s + 1` = shard `s`). See [`set_shard`].
+    pub shard: u64,
 }
 
 /// A lane's decoded recent history.
@@ -487,6 +513,7 @@ pub fn snapshot() -> Vec<FlightLane> {
                     ts_us: ts,
                     dv,
                     arg,
+                    shard: meta >> 24,
                 });
             }
             FlightLane {
@@ -530,23 +557,32 @@ fn flight_event_json(e: &FlightEvent, lane: u64) -> Json {
         ("pid".into(), FLIGHT_PID.into()),
         ("tid".into(), lane.into()),
     ];
+    let with_shard = |mut args: Vec<(String, Json)>| {
+        if e.shard != 0 {
+            args.push(("shard".into(), ((e.shard - 1) as f64).into()));
+        }
+        Json::Obj(args)
+    };
     match e.kind {
         FlightKind::Span => {
             fields.push(("dur".into(), Json::Num(e.dv.max(0.0))));
             fields.push((
                 "args".into(),
-                obj([(e.code.arg_name(), (e.arg as f64).into())]),
+                with_shard(vec![(e.code.arg_name().into(), (e.arg as f64).into())]),
             ));
         }
         FlightKind::Instant => {
             fields.push(("s".into(), Json::Str("t".into())));
             fields.push((
                 "args".into(),
-                obj([(e.code.arg_name(), (e.arg as f64).into())]),
+                with_shard(vec![(e.code.arg_name().into(), (e.arg as f64).into())]),
             ));
         }
         FlightKind::Counter => {
-            fields.push(("args".into(), obj([("value", Json::Num(e.dv))])));
+            fields.push((
+                "args".into(),
+                with_shard(vec![("value".into(), Json::Num(e.dv))]),
+            ));
         }
     }
     Json::Obj(fields)

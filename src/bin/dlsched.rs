@@ -14,10 +14,13 @@
 //!                                     replay (scheduler + simulator +
 //!                                     executor layers)
 //! dlsched stream [--nodes V] [--sched S] [--updates U] [--update-size K]
-//!                [--procs P] [--batch B] [--task-us D]
+//!                [--procs P] [--batch B] [--task-us D] [--shards N]
 //!                                     drive a stream of K-node updates over a
 //!                                     V-node DAG through one warm worker pool
-//!                                     and report updates/sec + tasks/sec
+//!                                     and report updates/sec + tasks/sec;
+//!                                     --shards N hash-partitions the stream
+//!                                     across N scheduler+executor instances
+//!                                     (P workers each) running concurrently
 //! dlsched explain [--preset N|<spec>] [--sched S] [--procs P]
 //!                 [-o explain.json] [--trace-out out.trace.json]
 //!                                     run an update with per-task tracing and
@@ -33,18 +36,22 @@
 //!                                     percentiles, burn rate, coalesce rate,
 //!                                     worker occupancy and retries
 //! dlsched query <program.dl|-> <pattern> [--add F]* [--remove F]* [--sched S]
+//!               [--shards N]
 //!                                     materialize a Datalog program, pin a
 //!                                     snapshot, optionally run edits, then
 //!                                     answer a point/scan query (`path(a, ?)`)
 //!                                     against both the pinned snapshot and the
-//!                                     head, printing rows + their epochs
+//!                                     head, printing rows + their epochs;
+//!                                     --shards N hash-partitions the relations
+//!                                     across N engine instances and answers
+//!                                     from the ownership-filtered union
 //! ```
 //!
 //! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
 //! `hybrid`, `hybrid-bg:<slice>`, `exact`.
 
 use datalog_sched::runtime::executor::{infallible, StreamPolicy, StreamUpdate};
-use datalog_sched::runtime::{analyze, flow_events, ExecConfig, Executor, TaskFn};
+use datalog_sched::runtime::{analyze, flow_events, ExecConfig, Executor, ShardedExecutor, TaskFn};
 use datalog_sched::sched::{CostPrices, Observed, SchedulerKind};
 use datalog_sched::sim::{record_timeline, simulate_event, EventSimConfig};
 use datalog_sched::traces::{generate, preset, trace_stats, JobTrace};
@@ -356,6 +363,7 @@ fn cmd_stream(args: &[String]) -> i32 {
     let procs: usize = flag(args, "--procs").and_then(|v| v.parse().ok()).unwrap_or(8);
     let batch: usize = flag(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(256);
     let task_us: u64 = flag(args, "--task-us").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let shards: usize = flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(1);
     let kind = match parse_sched(flag(args, "--sched").unwrap_or("levelbased")) {
         Ok(k) => k,
         Err(e) => {
@@ -409,6 +417,38 @@ fn cmd_stream(args: &[String]) -> i32 {
 
     let mut cfg = ExecConfig::new(procs);
     cfg.batch_max = batch.max(1);
+
+    if shards > 1 {
+        let exec = ShardedExecutor::with_config(shards, cfg);
+        let report = match exec.run_stream(|_| kind.build(dag.clone()), &dag, &stream, task) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stream failed: {e}");
+                return 1;
+            }
+        };
+        println!(
+            "{} nodes, {} updates x {} dirty, {} shards x {} workers under {} (batch {}):",
+            n, updates, update_size, shards, procs, kind.label(), batch
+        );
+        println!("  tasks executed   {}", report.executed());
+        println!("  wall time        {:.4} s", report.wall_seconds());
+        println!("  updates/sec      {:.0}", report.updates_per_sec());
+        println!(
+            "  tasks/sec        {:.0}",
+            report.executed() as f64 / report.wall_seconds().max(f64::MIN_POSITIVE)
+        );
+        for (s, r) in report.shards.iter().enumerate() {
+            println!(
+                "  shard {s}:        {} tasks in {:.4} s (coord busy {:.1}%)",
+                r.executed,
+                r.wall_seconds,
+                r.coord_busy_fraction * 100.0
+            );
+        }
+        return 0;
+    }
+
     let mut sched = kind.build(dag.clone());
     let report = match Executor::with_config(cfg).run_stream(sched.as_mut(), &dag, &stream, task) {
         Ok(r) => r,
@@ -561,6 +601,12 @@ fn cmd_explain(args: &[String]) -> i32 {
             a.chain_us(),
             pct(a.chain_us())
         );
+        // Sharded runs tag task spans with their shard id; split the
+        // parallel task time per shard when any tag is present.
+        for (s, us) in &a.shard_task_us {
+            let share = if a.task_us > 0.0 { 100.0 * us / a.task_us } else { 0.0 };
+            println!("    shard {s}: {us:.0} us task time ({share:.1}% of task time)");
+        }
     }
     println!("  wrote {out}");
     println!("  wrote {trace_out} ({n_flows} flow events) — open in https://ui.perfetto.dev");
@@ -784,6 +830,33 @@ fn cmd_gantt(args: &[String]) -> i32 {
     }
 }
 
+/// Parse `--add`/`--remove` facts (`edge(a, b)`, symbols only) into
+/// engine edits.
+fn parse_fact_edits(
+    edits: &[(bool, String)],
+) -> Result<Vec<datalog_sched::datalog::FactEdit>, String> {
+    use datalog_sched::datalog::{parse_pattern, FactEdit, Pat};
+    edits
+        .iter()
+        .map(|(add, fact)| {
+            let (pred, pats) = parse_pattern(fact)?;
+            let args = pats
+                .iter()
+                .map(|p| match p {
+                    Pat::Sym(s) => Ok(s.clone()),
+                    _ => Err(format!("edit fact {fact:?} must be all symbols")),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let args: Vec<&str> = args.iter().map(String::as_str).collect();
+            Ok(if *add {
+                FactEdit::add(&pred, &args)
+            } else {
+                FactEdit::remove(&pred, &args)
+            })
+        })
+        .collect()
+}
+
 /// The `query` subcommand body, separated so the smoke test can drive
 /// it without a subprocess. Pins a snapshot of the freshly-materialized
 /// program, applies the edits (which publish new epochs), then answers
@@ -794,37 +867,13 @@ fn run_snapshot_query(
     edits: &[(bool, String)],
     kind: SchedulerKind,
 ) -> Result<String, String> {
-    use datalog_sched::datalog::{parse_pattern, FactEdit, IncrementalEngine, Pat};
+    use datalog_sched::datalog::IncrementalEngine;
 
     let mut e = IncrementalEngine::new(src).map_err(|e| e.to_string())?;
     let snap = e.begin_snapshot();
 
     if !edits.is_empty() {
-        let parsed: Vec<(bool, String, Vec<String>)> = edits
-            .iter()
-            .map(|(add, fact)| {
-                let (pred, pats) = parse_pattern(fact)?;
-                let args = pats
-                    .iter()
-                    .map(|p| match p {
-                        Pat::Sym(s) => Ok(s.clone()),
-                        _ => Err(format!("edit fact {fact:?} must be all symbols")),
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok((*add, pred, args))
-            })
-            .collect::<Result<_, String>>()?;
-        let fe: Vec<FactEdit> = parsed
-            .iter()
-            .map(|(add, pred, args)| {
-                let args: Vec<&str> = args.iter().map(String::as_str).collect();
-                if *add {
-                    FactEdit::add(pred, &args)
-                } else {
-                    FactEdit::remove(pred, &args)
-                }
-            })
-            .collect();
+        let fe = parse_fact_edits(edits)?;
         let mut s = kind.build(e.dag().clone());
         e.update(s.as_mut(), &fe).map_err(|e| e.to_string())?;
     }
@@ -851,16 +900,56 @@ fn run_snapshot_query(
     Ok(out)
 }
 
+/// The sharded `query` path: hash-partition the program's relations
+/// across `shards` engine instances, apply the edits through the
+/// cross-shard exchange, then answer the pattern from the
+/// ownership-filtered union of the shard heads. (No snapshot pinning —
+/// each shard publishes its own epochs, one per committed batch.)
+fn run_sharded_query(
+    src: &str,
+    pattern: &str,
+    edits: &[(bool, String)],
+    kind: SchedulerKind,
+    shards: usize,
+) -> Result<String, String> {
+    use datalog_sched::datalog::ShardedEngine;
+
+    let mut e = ShardedEngine::new(src, shards, |d| kind.build(d)).map_err(|e| e.to_string())?;
+    let mut exchange = None;
+    if !edits.is_empty() {
+        let fe = parse_fact_edits(edits)?;
+        exchange = Some(e.update(&fe).map_err(|e| e.to_string())?);
+    }
+    let rows = e.query(pattern).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{} shards, head @ epoch {}: {} rows\n",
+        shards,
+        e.epoch(),
+        rows.len()
+    );
+    for r in &rows {
+        out.push_str(&format!("  {r}\n"));
+    }
+    if let Some(rep) = exchange {
+        out.push_str(&format!(
+            "  (update ran {} rounds, {} tuples exchanged between shards)\n",
+            rep.rounds, rep.exchanged_tuples
+        ));
+    }
+    Ok(out)
+}
+
 fn cmd_query(args: &[String]) -> i32 {
     let usage = "usage: dlsched query <program.dl|-> <pattern> \
-                 [--add fact]* [--remove fact]* [--sched S]";
+                 [--add fact]* [--remove fact]* [--sched S] [--shards N]";
     let mut positional: Vec<&str> = Vec::new();
     let mut edits: Vec<(bool, String)> = Vec::new();
     let mut sched = "levelbased";
+    let mut shards = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            f @ ("--add" | "--remove" | "--sched") => {
+            f @ ("--add" | "--remove" | "--sched" | "--shards") => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("{f} needs a value\n{usage}");
                     return 2;
@@ -868,6 +957,13 @@ fn cmd_query(args: &[String]) -> i32 {
                 match f {
                     "--add" => edits.push((true, v.clone())),
                     "--remove" => edits.push((false, v.clone())),
+                    "--shards" => match v.parse() {
+                        Ok(n) if n >= 1 => shards = n,
+                        _ => {
+                            eprintln!("bad shard count {v:?}\n{usage}");
+                            return 2;
+                        }
+                    },
                     _ => sched = v,
                 }
                 i += 2;
@@ -906,7 +1002,12 @@ fn cmd_query(args: &[String]) -> i32 {
             return 2;
         }
     };
-    match run_snapshot_query(&src, pattern, &edits, kind) {
+    let result = if shards > 1 {
+        run_sharded_query(&src, pattern, &edits, kind, shards)
+    } else {
+        run_snapshot_query(&src, pattern, &edits, kind)
+    };
+    match result {
         Ok(out) => {
             print!("{out}");
             0
@@ -939,6 +1040,21 @@ mod query_tests {
         // the head (epoch 2, post-publish) reflects the edits.
         assert!(out.contains("pinned snapshot @ epoch 1: 2 rows"), "{out}");
         assert!(out.contains("head @ epoch 2: 1 rows"), "{out}");
+        assert!(out.contains("(a, d)"), "{out}");
+    }
+
+    #[test]
+    fn sharded_query_smoke() {
+        let out = run_sharded_query(
+            PROGRAM,
+            "path(a, ?)",
+            &[(false, "edge(a, b)".into()), (true, "edge(a, d)".into())],
+            SchedulerKind::Hybrid,
+            3,
+        )
+        .expect("sharded query runs");
+        assert!(out.contains("3 shards"), "{out}");
+        assert!(out.contains("1 rows"), "{out}");
         assert!(out.contains("(a, d)"), "{out}");
     }
 
