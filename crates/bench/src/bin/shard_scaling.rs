@@ -157,6 +157,34 @@ fn check_equivalence(src: &str, batches: &[Vec<FactEdit>]) {
     println!("smoke: sharded(2) extents match unsharded over {} batches\n", batches.len());
 }
 
+/// Fault-tolerance overhead A/B at 2 shards: armed (a no-op fault hook
+/// installed and an explicit round deadline, so every round pays the
+/// hook interrogation and watchdog arithmetic) vs stock. Arms are
+/// interleaved and each keeps its best of 3 reps, so ambient noise hits
+/// both equally. Returns `(armed_ups, stock_ups)`.
+fn ft_overhead(src: &str, batches: &[Vec<FactEdit>]) -> (f64, f64) {
+    use incr_datalog::ShardFaultHook;
+    let run = |armed: bool| -> f64 {
+        let mut e = ShardedEngine::new(src, 2, make_sched).expect("valid program");
+        e.set_black_box(None);
+        if armed {
+            e.set_round_deadline(std::time::Duration::from_secs(30));
+            e.set_fault_hook(Some(std::sync::Arc::new(|_, _| None) as ShardFaultHook));
+        }
+        let t0 = Instant::now();
+        for batch in batches {
+            e.update(batch).expect("batch applies");
+        }
+        batches.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let (mut armed, mut stock) = (0f64, 0f64);
+    for _ in 0..3 {
+        stock = stock.max(run(false));
+        armed = armed.max(run(true));
+    }
+    (armed, stock)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n, k, cycles) = if smoke { (24, 2, 2) } else { (192, 6, 2) };
@@ -220,7 +248,31 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // ISSUE 9 satellite: the fault-tolerance machinery (hook
+    // interrogation, undo staging, barrier watchdog) must not tax the
+    // fault-free path. Armed-no-fault vs stock, best of 3 interleaved.
+    let (armed_ups, stock_ups) = ft_overhead(&src, &batches);
+    let ft_ratio = armed_ups / stock_ups.max(1e-9);
+    println!(
+        "ft overhead @ 2 shards: armed {armed_ups:.1} ups vs stock {stock_ups:.1} ups \
+         = {ft_ratio:.2}x (gate: >= 0.80x)"
+    );
+    results.push_row(obj([
+        ("trace", format!("tc+tri(n={n})").into()),
+        ("scheduler", "LevelBased".into()),
+        ("kind", "shard_ft_overhead".into()),
+        ("shards", 2u64.into()),
+        ("batches", (batches.len() as u64).into()),
+        ("armed_updates_per_sec", armed_ups.into()),
+        ("stock_updates_per_sec", stock_ups.into()),
+        ("ft_overhead_ratio", ft_ratio.into()),
+    ]));
     results.write_default();
+    assert!(
+        ft_ratio >= 0.80,
+        "armed-no-fault throughput {ft_ratio:.2}x of stock is below the 0.80x gate"
+    );
 
     let cores = incr_bench::results::available_parallelism();
     let ratio_at_2 = ratio_at_2.expect("2-shard config always runs");

@@ -36,6 +36,22 @@ pub enum EngineError {
     /// exactly what it was before the failed update, and retrying the
     /// same update is idempotent.
     Stall { scheduler: String },
+    /// A sharded update batch failed on one shard: that shard panicked,
+    /// returned an error, or missed the exchange barrier. Every shard
+    /// was rolled back to its pre-batch state and no epoch published —
+    /// retrying the batch (with the fault gone) is idempotent. Carries
+    /// a multi-shard snapshot taken at abort time for diagnostics.
+    ShardFailed {
+        /// The shard that failed first (lowest index on ties).
+        shard: usize,
+        /// 0-based exchange round the failure surfaced in.
+        round: usize,
+        /// Why the shard failed.
+        cause: crate::shard::ShardCause,
+        /// Per-shard state at abort: round index, queue depths,
+        /// in-flight exchange volume.
+        snapshot: Vec<crate::shard::ShardStatus>,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,6 +63,17 @@ impl std::fmt::Display for EngineError {
             EngineError::Stall { scheduler } => write!(
                 f,
                 "{scheduler} stalled mid-update; the update was rolled back"
+            ),
+            EngineError::ShardFailed {
+                shard,
+                round,
+                cause,
+                snapshot,
+            } => write!(
+                f,
+                "shard {shard} failed at round {round}: {cause}; \
+                 all {} shards rolled back, no epoch published",
+                snapshot.len()
             ),
         }
     }
@@ -323,7 +350,7 @@ impl IncrementalEngine {
         scheduler: &mut dyn Scheduler,
         edits: &[FactEdit],
     ) -> Result<UpdateReport, EngineError> {
-        self.update_full(scheduler, edits, &[], true, None)
+        self.update_full(scheduler, edits, &[], true, None, None)
     }
 
     /// The general update entry: string edits plus typed edits, with an
@@ -337,6 +364,13 @@ impl IncrementalEngine {
     ///   task node executes at most once per update, so the per-node
     ///   output deltas *are* the nets). On a failed (rolled back) update
     ///   the map's contents are meaningless and must be discarded.
+    /// * `undo_out` receives, on **success**, the update's full undo log
+    ///   (base edits first, then clique outputs in execution order).
+    ///   Replaying it in reverse via [`Self::rollback_batch`] restores
+    ///   the pre-update state — the sharded runtime stages these across
+    ///   exchange rounds so a failed batch can roll back every shard.
+    ///   On failure the log was already consumed by the internal
+    ///   rollback and nothing is appended.
     pub(crate) fn update_full(
         &mut self,
         scheduler: &mut dyn Scheduler,
@@ -344,6 +378,7 @@ impl IncrementalEngine {
         typed: &[TypedEdit],
         publish: bool,
         collect: Option<&mut HashMap<PredId, Delta>>,
+        undo_out: Option<&mut Vec<(PredId, Delta)>>,
     ) -> Result<UpdateReport, EngineError> {
         // 1. Apply edits to base relations, collecting net deltas. The
         // write lock is scoped to this phase so readers interleave
@@ -390,7 +425,15 @@ impl IncrementalEngine {
             .filter(|(_, d)| !d.is_empty())
             .map(|(p, d)| (*p, d.clone()))
             .collect();
-        let report = self.drive(scheduler, &initial, base_deltas, HashMap::new(), undo, collect)?;
+        let report = self.drive(
+            scheduler,
+            &initial,
+            base_deltas,
+            HashMap::new(),
+            undo,
+            collect,
+            undo_out,
+        )?;
         // 4. Committed: publish the new epoch — the one point where
         // concurrent snapshots start seeing this update's effects. A
         // failed drive already rolled back and publishes nothing, so
@@ -542,6 +585,7 @@ impl IncrementalEngine {
     /// pre-update state before returning [`EngineError::Stall`], so a
     /// failed update rolls back atomically and retrying it (with a
     /// working scheduler) is idempotent.
+    #[allow(clippy::too_many_arguments)]
     fn drive(
         &mut self,
         scheduler: &mut dyn Scheduler,
@@ -550,6 +594,7 @@ impl IncrementalEngine {
         mut preset: HashMap<NodeId, HashMap<PredId, Delta>>,
         mut undo: Vec<(PredId, Delta)>,
         mut collect: Option<&mut HashMap<PredId, Delta>>,
+        undo_out: Option<&mut Vec<(PredId, Delta)>>,
     ) -> Result<UpdateReport, EngineError> {
         let mut pending: Vec<HashMap<PredId, Delta>> =
             vec![HashMap::new(); self.graph.dag.node_count()];
@@ -668,6 +713,9 @@ impl IncrementalEngine {
                 scheduler: scheduler.name().to_string(),
             });
         }
+        if let Some(out) = undo_out {
+            out.append(&mut undo);
+        }
 
         Ok(UpdateReport {
             tasks_executed: order.len(),
@@ -676,6 +724,16 @@ impl IncrementalEngine {
             sched_cost: scheduler.cost(),
             order,
         })
+    }
+
+    /// Roll back a *batch* of committed-but-unpublished updates using
+    /// the undo logs returned through `update_full`'s `undo_out`. The
+    /// sharded runtime concatenates each round's log in order and hands
+    /// the whole thing back here when any sibling shard fails — reverse
+    /// replay restores this engine's pre-batch state exactly, and since
+    /// nothing was published, pinned snapshots never saw the batch.
+    pub(crate) fn rollback_batch(&mut self, undo: Vec<(PredId, Delta)>) {
+        self.rollback(undo);
     }
 
     /// Undo every applied delta in reverse order: tuples an update added
@@ -851,6 +909,7 @@ impl IncrementalEngine {
             HashMap::new(),
             HashMap::from([(node, out)]),
             undo,
+            None,
             None,
         )?;
         self.publish();

@@ -52,8 +52,8 @@ pub use parser::parse_program;
 pub use query::{parse_pattern, query, query_at, Pat};
 pub use rel::{Database, Relation};
 pub use shard::{
-    shard_of_first, split_by_shard, PortableValue, RuleClass, ShardPlan, ShardUpdateReport,
-    ShardedEngine,
+    shard_of_first, split_by_shard, PortableValue, RuleClass, ShardCause, ShardFault,
+    ShardFaultHook, ShardPlan, ShardStatus, ShardUpdateReport, ShardedEngine,
 };
 pub use stream::DeltaQueue;
 pub use value::{Tuple, Value};

@@ -22,6 +22,15 @@
 //! tenure. The lock only arbitrates access to the unsynchronized
 //! interior structures (hash maps, arenas) — it is a concurrency
 //! primitive, not the isolation mechanism.
+//!
+//! **Sharded runtimes** extend the guarantee across engines: the
+//! sharded coordinator (`crate::shard`) calls each shard's publish
+//! strictly after the whole batch converges on *every* shard, and an
+//! aborted batch publishes on none (its deltas are rolled back first).
+//! Per-shard epoch streams therefore stay aligned — epoch `E` names
+//! the same committed batch on every shard — and a snapshot pinned at
+//! `E` on any shard never observes a partially-failed batch
+//! (DESIGN.md § 15).
 
 use crate::query::{parse_pattern, query_at, render};
 use crate::rel::{Database, PredId};

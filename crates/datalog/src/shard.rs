@@ -69,6 +69,12 @@
 //!   epoch counts whole batches and snapshot readers see consistent
 //!   cuts. A failed round leaves epochs unpublished — readers keep the
 //!   last committed batch.
+//! * **Atomic batches**: a shard failure (typed error, panic, or a
+//!   barrier miss caught by the round watchdog) aborts the whole batch:
+//!   every shard reverse-replays its staged undo logs back to the
+//!   pre-batch state — partial mirror feeds included — no epoch
+//!   publishes, and the caller gets [`EngineError::ShardFailed`] with a
+//!   per-shard snapshot. Retrying the batch is idempotent.
 //!
 //! Typed edits ([`TypedEdit`], [`PortableValue`]) carry values across
 //! shards without rendering to text, so the symbol `"42"` and the
@@ -80,12 +86,18 @@ use crate::incr::Delta;
 use crate::par::EvalOptions;
 use crate::parser::parse_program;
 use crate::query::parse_pattern;
-use crate::rel::Database;
+use crate::rel::{Database, PredId};
 use crate::value::{Tuple, Value};
 use incr_dag::Dag;
+use incr_obs::flight::{self, FlightCode};
+use incr_obs::json::Json;
 use incr_sched::Scheduler;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Suffix of the per-shard companion predicates holding global extents.
 pub const MIRROR_SUFFIX: &str = "__mirror";
@@ -171,6 +183,46 @@ pub(crate) fn tuple_shard(t: &[Value], db: &Database, shards: usize) -> usize {
     match t.first() {
         None => 0,
         Some(v) => PortableValue::of_value(*v, db).shard(shards),
+    }
+}
+
+/// Mirror of the executor's `INCR_BLACKBOX_DIR` convention: empty, `0`
+/// or `off` disables dumping, any other value overrides the directory,
+/// unset defaults to `results/blackbox`.
+fn default_black_box_dir() -> Option<PathBuf> {
+    match std::env::var("INCR_BLACKBOX_DIR") {
+        Ok(v) if v.is_empty() || v == "0" || v == "off" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(PathBuf::from("results/blackbox")),
+    }
+}
+
+/// Sliced sleep that aborts as soon as `cancel` is raised; returns
+/// `false` when cancelled. This is what keeps an injected "stuck
+/// shard" from wedging the round's thread join after the barrier
+/// watchdog fires.
+fn sleep_unless_cancelled(total: Duration, cancel: &AtomicBool) -> bool {
+    let end = Instant::now() + total;
+    loop {
+        if cancel.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= end {
+            return true;
+        }
+        std::thread::sleep((end - now).min(Duration::from_millis(1)));
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -311,7 +363,9 @@ impl ShardPlan {
             let anchor = anchor_var(r);
             let local = anchor.is_some_and(|a| r.body.iter().any(|l| is_anchored(l, a)));
             for l in &r.body {
-                let kept = local && is_anchored(l, anchor.expect("local implies anchor"));
+                // `local` implies the anchor exists, so the is_some_and
+                // can never silently mis-classify.
+                let kept = local && anchor.is_some_and(|a| is_anchored(l, a));
                 if !kept && same_scc(&r.head.pred, &l.atom.pred) {
                     cyclic.insert(r.head.pred.clone());
                 }
@@ -335,20 +389,24 @@ impl ShardPlan {
                         r.head.pred
                     )));
                 }
+                let mut args = Vec::with_capacity(r.head.terms.len());
+                for t in &r.head.terms {
+                    match t {
+                        Term::Int(i) => args.push(PortableValue::Int(*i)),
+                        Term::Sym(s) => args.push(PortableValue::Text(s.clone())),
+                        // `is_fact` excludes variable heads, but surface
+                        // a typed error rather than trusting that here.
+                        Term::Var(_) | Term::Agg(..) => {
+                            return Err(EngineError::Edit(format!(
+                                "fact {} has a non-ground argument",
+                                r.head.pred
+                            )))
+                        }
+                    }
+                }
                 facts.push(TypedEdit {
                     pred: r.head.pred.clone(),
-                    args: r
-                        .head
-                        .terms
-                        .iter()
-                        .map(|t| match t {
-                            Term::Int(i) => PortableValue::Int(*i),
-                            Term::Sym(s) => PortableValue::Text(s.clone()),
-                            Term::Var(_) | Term::Agg(..) => {
-                                unreachable!("is_fact excludes variable heads")
-                            }
-                        })
-                        .collect(),
+                    args,
                     adding: true,
                 });
                 continue;
@@ -367,7 +425,7 @@ impl ShardPlan {
                     let keep = if forced {
                         !l.negated && same_scc(&r.head.pred, &l.atom.pred)
                     } else {
-                        local && is_anchored(l, anchor.expect("local implies anchor"))
+                        local && anchor.is_some_and(|a| is_anchored(l, a))
                     };
                     if keep {
                         l.clone()
@@ -404,10 +462,14 @@ impl ShardPlan {
             .collect();
         let mut declared = arities.clone();
         for m in &mirrored {
+            // Every mirrored predicate came from a body atom of the same
+            // program `arities` was computed from.
             let a = arities
                 .iter()
                 .find(|(p, _)| p == m)
-                .expect("mirrored pred has an arity")
+                .ok_or_else(|| {
+                    EngineError::Edit(format!("mirrored predicate {m} has no known arity"))
+                })?
                 .1;
             declared.push((mirror_name(m), a));
         }
@@ -446,14 +508,92 @@ pub struct ShardUpdateReport {
     pub edges_fired: usize,
 }
 
+/// Why one shard failed its round of a sharded batch (the `cause` of
+/// [`EngineError::ShardFailed`]).
+#[derive(Debug)]
+pub enum ShardCause {
+    /// The shard's engine returned a typed error.
+    Engine(Box<EngineError>),
+    /// The shard's round panicked; the payload message is preserved.
+    Panicked(String),
+    /// The shard never reached the exchange barrier within the round
+    /// deadline — stuck or dead, caught by the barrier watchdog.
+    Barrier { waited_ms: u64 },
+}
+
+impl std::fmt::Display for ShardCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardCause::Engine(e) => write!(f, "{e}"),
+            ShardCause::Panicked(m) => write!(f, "panicked: {m}"),
+            ShardCause::Barrier { waited_ms } => {
+                write!(f, "missed the exchange barrier (waited {waited_ms} ms)")
+            }
+        }
+    }
+}
+
+/// One shard's state in the multi-shard snapshot an abort carries.
+#[derive(Clone, Debug)]
+pub struct ShardStatus {
+    pub shard: usize,
+    /// Rounds this shard completed within the failed batch.
+    pub rounds_done: usize,
+    /// Edits queued to this shard in the round that failed.
+    pub queued_edits: usize,
+    /// Exchange tuples this shard broadcast during the batch.
+    pub exchanged_tuples: usize,
+    /// `"ok"`, `"failed"`, `"cancelled"`, or `"missed-barrier"`.
+    pub state: &'static str,
+}
+
+/// An injected fault at one `(shard, round)` site — what a
+/// [`ShardFaultHook`] may ask a shard to do at round entry. The hook
+/// fires *before* the shard's engine runs, so an injected panic or
+/// failure never leaves untracked partial deltas behind.
+#[derive(Clone, Debug)]
+pub enum ShardFault {
+    /// Panic with this message.
+    Panic(String),
+    /// Sleep this long before evaluating the round (cancellable: the
+    /// sleep is sliced and aborts as soon as a sibling failure or the
+    /// barrier watchdog cancels the round).
+    Delay(Duration),
+    /// Return a typed error.
+    Fail(String),
+}
+
+/// Fault-injection hook interrogated by every shard at the entry of
+/// every exchange round, as `(shard, round)`. Test-only in spirit, but
+/// a plain field so chaos harnesses outside this crate can arm it.
+pub type ShardFaultHook = Arc<dyn Fn(usize, usize) -> Option<ShardFault> + Send + Sync>;
+
+/// Default per-round barrier deadline; generous because a round may
+/// re-evaluate large cliques, but finite so a dead shard surfaces as
+/// [`EngineError::ShardFailed`] instead of a hang.
+pub const DEFAULT_ROUND_DEADLINE: Duration = Duration::from_secs(30);
+
 /// N hash-partitioned [`IncrementalEngine`]s behind one logical
 /// database: batches fan out to owning shards, shards update in
 /// parallel (each under its own scheduler), cross-shard rules converge
 /// by delta exchange, and all shards publish one MVCC epoch per batch.
+///
+/// Batches are all-or-nothing across shards: each round's undo log is
+/// staged per shard, and any shard failure (typed error, panic, or
+/// missed barrier) rolls every shard back to its pre-batch state and
+/// publishes no epoch — see [`Self::apply_batch`].
 pub struct ShardedEngine {
     plan: ShardPlan,
     engines: Vec<IncrementalEngine>,
     scheds: Vec<Box<dyn Scheduler + Send>>,
+    /// Barrier watchdog: how long the coordinator waits for all shards
+    /// to report one round before declaring the batch failed.
+    round_deadline: Duration,
+    /// Chaos-harness hook; `None` in production.
+    fault_hook: Option<ShardFaultHook>,
+    /// Where to dump flight-recorder black boxes on abort; `None`
+    /// disables.
+    black_box: Option<PathBuf>,
 }
 
 /// Safety cap on exchange rounds; real programs converge in a handful
@@ -506,6 +646,9 @@ impl ShardedEngine {
             plan,
             engines,
             scheds,
+            round_deadline: DEFAULT_ROUND_DEADLINE,
+            fault_hook: None,
+            black_box: default_black_box_dir(),
         };
         if !this.plan.facts.is_empty() {
             let facts = std::mem::take(&mut this.plan.facts);
@@ -535,6 +678,28 @@ impl ShardedEngine {
     /// committed batch).
     pub fn epoch(&self) -> u64 {
         self.engines[0].epoch()
+    }
+
+    /// Set the barrier watchdog's per-round deadline (default
+    /// [`DEFAULT_ROUND_DEADLINE`]). A shard that has not reached the
+    /// exchange barrier by then fails the batch with
+    /// [`ShardCause::Barrier`] and cancels its siblings.
+    pub fn set_round_deadline(&mut self, deadline: Duration) {
+        self.round_deadline = deadline;
+    }
+
+    /// Install (or clear) a fault-injection hook interrogated by every
+    /// shard at round entry. Chaos harnesses arm this; production
+    /// leaves it `None`.
+    pub fn set_fault_hook(&mut self, hook: Option<ShardFaultHook>) {
+        self.fault_hook = hook;
+    }
+
+    /// Override where abort-path flight-recorder black boxes go
+    /// (default: the `INCR_BLACKBOX_DIR` convention shared with the
+    /// executor). `None` disables dumping.
+    pub fn set_black_box(&mut self, dir: Option<PathBuf>) {
+        self.black_box = dir;
     }
 
     /// Apply one batch of base-table edits across all shards.
@@ -600,90 +765,287 @@ impl ShardedEngine {
     /// slice, broadcast them to every mirror, repeat until no shard
     /// produces deltas — then publish one epoch on every shard.
     ///
-    /// On a shard error the batch stops at a round boundary with every
-    /// epoch unpublished: snapshot readers keep the last committed
-    /// batch. Earlier rounds of this batch are *not* rolled back across
-    /// shards, so treat the head state as poisoned after an error.
+    /// **All-or-nothing.** Every round returns its undo log through
+    /// `update_full`'s `undo_out`, staged per shard across the batch.
+    /// When any shard's round returns an error or panics, or misses the
+    /// barrier watchdog's per-round deadline, sibling shards are
+    /// cancelled (cooperatively, at round entry and inside delay
+    /// slices), every shard's staged log is replayed in reverse —
+    /// restoring pre-batch state bit-for-bit, stale mirror feeds
+    /// included — and no epoch publishes, so snapshot readers pinned on
+    /// any shard keep the last committed batch and a retry of the same
+    /// batch is idempotent. The failure surfaces as
+    /// [`EngineError::ShardFailed`] carrying a multi-shard
+    /// [`ShardStatus`] snapshot, plus a flight-recorder black box
+    /// spanning all shards' lanes when dumping is enabled.
+    ///
+    /// One caveat: a panic raised *inside* a shard's engine mid-cascade
+    /// can leave deltas its (never returned) undo log tracked alone.
+    /// The engine's own failure mode is typed errors with internal
+    /// rollback, and the injected chaos faults fire before the engine
+    /// runs, so in practice the staged logs are exact.
     fn apply_batch(&mut self, mut inbox: Vec<Vec<TypedEdit>>) -> Result<ShardUpdateReport, EngineError> {
         let n = self.plan.shards;
         let mut report = ShardUpdateReport::default();
+        // Per-shard undo logs staged across rounds; replayed in reverse
+        // only if the batch aborts.
+        let mut batch_undo: Vec<Vec<(PredId, Delta)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut rounds_done = vec![0usize; n];
+        let mut exch_sent = vec![0usize; n];
         loop {
             report.rounds += 1;
+            let round = report.rounds - 1;
             if report.rounds > MAX_ROUNDS {
-                return Err(EngineError::Edit(
+                let snapshot: Vec<ShardStatus> = (0..n)
+                    .map(|s| ShardStatus {
+                        shard: s,
+                        rounds_done: rounds_done[s],
+                        queued_edits: inbox[s].len(),
+                        exchanged_tuples: exch_sent[s],
+                        state: "ok",
+                    })
+                    .collect();
+                let cause = ShardCause::Engine(Box::new(EngineError::Edit(
                     "cross-shard exchange did not converge".into(),
-                ));
+                )));
+                return Err(self.abort(0, round, cause, false, batch_undo, snapshot));
             }
             let batches = std::mem::replace(&mut inbox, vec![Vec::new(); n]);
+            let queued: Vec<usize> = batches.iter().map(Vec::len).collect();
             let exchanged = &self.plan.exchanged;
-            // One bounded channel per round: each shard sends exactly
-            // one owned-filtered delta message, so capacity n can never
-            // block and the coordinator drains in arrival order.
-            let (tx, rx) = crossbeam::channel::bounded(n);
-            type RoundResult = Result<(UpdateReport, Vec<TypedEdit>), EngineError>;
-            let mut outcomes: Vec<Option<RoundResult>> = (0..n).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (s, ((eng, sched), batch)) in self
-                    .engines
-                    .iter_mut()
-                    .zip(self.scheds.iter_mut())
-                    .zip(batches)
-                    .enumerate()
-                {
-                    let tx = tx.clone();
-                    scope.spawn(move || {
-                        incr_obs::flight::set_shard(s as u64 + 1);
-                        let mut collected: HashMap<_, Delta> = HashMap::new();
-                        let res: RoundResult = eng
-                            .update_full(sched.as_mut(), &[], &batch, false, Some(&mut collected))
-                            .map(|rep| {
-                                let db = eng.database();
-                                let mut out = Vec::new();
-                                for (pid, delta) in &collected {
-                                    let name = db.pred_name(*pid);
-                                    if !exchanged.contains(name) {
-                                        continue;
-                                    }
-                                    let mpred = mirror_name(name);
-                                    for (tuples, adding) in
-                                        [(&delta.added, true), (&delta.removed, false)]
-                                    {
-                                        for t in tuples.iter() {
-                                            if tuple_shard(t, &db, n) != s {
-                                                continue;
-                                            }
-                                            out.push(TypedEdit {
-                                                pred: mpred.clone(),
-                                                args: t
-                                                    .iter()
-                                                    .map(|v| PortableValue::of_value(*v, &db))
-                                                    .collect(),
-                                                adding,
-                                            });
+            let hook = self.fault_hook.clone();
+            let deadline = self.round_deadline;
+
+            /// Report, owned-slice broadcasts, and the round's undo log.
+            type RoundDone = (UpdateReport, Vec<TypedEdit>, Vec<(PredId, Delta)>);
+            enum RoundOutcome {
+                Done(Box<RoundDone>),
+                Failed(EngineError),
+                Panicked(String),
+                Cancelled,
+            }
+            // Outcomes are deposited in per-shard slots (so even a
+            // round that finishes *after* the watchdog fired still
+            // surrenders its undo log for rollback); the bounded
+            // channel is only the completion signal the watchdog waits
+            // on.
+            let slots: Vec<Mutex<Option<RoundOutcome>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let cancel = AtomicBool::new(false);
+            let mut on_time = vec![false; n];
+            let mut barrier_timeout = false;
+            let mut waited_ms = 0u64;
+            {
+                let slots = &slots;
+                let cancel = &cancel;
+                let (tx, rx) = crossbeam::channel::bounded::<usize>(n);
+                std::thread::scope(|scope| {
+                    for (s, ((eng, sched), batch)) in self
+                        .engines
+                        .iter_mut()
+                        .zip(self.scheds.iter_mut())
+                        .zip(batches)
+                        .enumerate()
+                    {
+                        let tx = tx.clone();
+                        let hook = hook.clone();
+                        scope.spawn(move || {
+                            flight::set_shard(s as u64 + 1);
+                            let fspan = flight::span_arg(FlightCode::ShardRound, round as u64);
+                            let body = || -> RoundOutcome {
+                                if cancel.load(Ordering::SeqCst) {
+                                    return RoundOutcome::Cancelled;
+                                }
+                                if let Some(h) = &hook {
+                                    match h(s, round) {
+                                        None => {}
+                                        Some(ShardFault::Panic(msg)) => panic!("{msg}"),
+                                        Some(ShardFault::Fail(msg)) => {
+                                            return RoundOutcome::Failed(EngineError::Edit(msg))
                                         }
+                                        Some(ShardFault::Delay(d))
+                                            if !sleep_unless_cancelled(d, cancel) =>
+                                        {
+                                            return RoundOutcome::Cancelled;
+                                        }
+                                        Some(ShardFault::Delay(_)) => {}
                                     }
                                 }
-                                // Hash-set iteration order is arbitrary;
-                                // sort so replays are deterministic.
-                                out.sort_by(|a, b| {
-                                    (&a.pred, &a.args, a.adding).cmp(&(&b.pred, &b.args, b.adding))
-                                });
-                                (rep, out)
-                            });
-                        let _ = tx.send((s, res));
-                    });
-                }
-                drop(tx);
-                while let Ok((s, res)) = rx.recv() {
-                    outcomes[s] = Some(res);
-                }
-            });
+                                if cancel.load(Ordering::SeqCst) {
+                                    return RoundOutcome::Cancelled;
+                                }
+                                let mut collected: HashMap<_, Delta> = HashMap::new();
+                                let mut undo: Vec<(PredId, Delta)> = Vec::new();
+                                let run = eng.update_full(
+                                    sched.as_mut(),
+                                    &[],
+                                    &batch,
+                                    false,
+                                    Some(&mut collected),
+                                    Some(&mut undo),
+                                );
+                                match run {
+                                    Err(e) => RoundOutcome::Failed(e),
+                                    Ok(rep) => {
+                                        let db = eng.database();
+                                        let mut out = Vec::new();
+                                        for (pid, delta) in &collected {
+                                            let name = db.pred_name(*pid);
+                                            if !exchanged.contains(name) {
+                                                continue;
+                                            }
+                                            let mpred = mirror_name(name);
+                                            for (tuples, adding) in
+                                                [(&delta.added, true), (&delta.removed, false)]
+                                            {
+                                                for t in tuples.iter() {
+                                                    if tuple_shard(t, &db, n) != s {
+                                                        continue;
+                                                    }
+                                                    out.push(TypedEdit {
+                                                        pred: mpred.clone(),
+                                                        args: t
+                                                            .iter()
+                                                            .map(|v| {
+                                                                PortableValue::of_value(*v, &db)
+                                                            })
+                                                            .collect(),
+                                                        adding,
+                                                    });
+                                                }
+                                            }
+                                        }
+                                        // Hash-set iteration order is
+                                        // arbitrary; sort so replays are
+                                        // deterministic.
+                                        out.sort_by(|a, b| {
+                                            (&a.pred, &a.args, a.adding)
+                                                .cmp(&(&b.pred, &b.args, b.adding))
+                                        });
+                                        RoundOutcome::Done(Box::new((rep, out, undo)))
+                                    }
+                                }
+                            };
+                            let outcome =
+                                match std::panic::catch_unwind(AssertUnwindSafe(body)) {
+                                    Ok(o) => o,
+                                    Err(p) => RoundOutcome::Panicked(panic_message(p)),
+                                };
+                            drop(fspan);
+                            *slots[s].lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(outcome);
+                            // Capacity n with one message per shard: the
+                            // send cannot block, but keep the timeout
+                            // flavor so no refactor can reintroduce an
+                            // unbounded wait on this path.
+                            let _ = tx.send_timeout(s, Duration::from_secs(1));
+                        });
+                    }
+                    drop(tx);
+                    // Barrier watchdog: wait for each shard's completion
+                    // signal under a hard per-round deadline instead of
+                    // blocking forever on a stuck or dead shard. A
+                    // received failure — or deadline expiry — raises the
+                    // cancel flag, and sibling shards abandon the round
+                    // at their next cooperative check.
+                    let started = Instant::now();
+                    let hard = started + deadline;
+                    let mut received = 0usize;
+                    while received < n {
+                        let now = Instant::now();
+                        if now >= hard {
+                            barrier_timeout = true;
+                            break;
+                        }
+                        match rx.recv_timeout(hard - now) {
+                            Ok(s) => {
+                                received += 1;
+                                on_time[s] = true;
+                                let failed = matches!(
+                                    &*slots[s].lock().unwrap_or_else(PoisonError::into_inner),
+                                    Some(
+                                        RoundOutcome::Failed(_) | RoundOutcome::Panicked(_)
+                                    )
+                                );
+                                if failed {
+                                    cancel.store(true, Ordering::SeqCst);
+                                }
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                barrier_timeout = true;
+                                break;
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    if barrier_timeout {
+                        waited_ms = started.elapsed().as_millis() as u64;
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                    // Leaving the scope joins the shard threads:
+                    // cancelled shards return at their next cooperative
+                    // check, and an engine round always terminates, so
+                    // the join is bounded.
+                });
+            }
+
             let mut broadcasts: Vec<TypedEdit> = Vec::new();
-            for res in outcomes {
-                let (rep, out) = res.expect("every shard reports once")?;
-                report.tasks_executed += rep.tasks_executed;
-                report.edges_fired += rep.edges_fired;
-                broadcasts.extend(out);
+            let mut failure: Option<(usize, ShardCause)> = None;
+            let mut states: Vec<&'static str> = Vec::with_capacity(n);
+            for (s, slot) in slots.into_iter().enumerate() {
+                let outcome = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                match outcome {
+                    Some(RoundOutcome::Done(b)) => {
+                        let (rep, out, undo) = *b;
+                        rounds_done[s] += 1;
+                        exch_sent[s] += out.len();
+                        report.tasks_executed += rep.tasks_executed;
+                        report.edges_fired += rep.edges_fired;
+                        batch_undo[s].extend(undo);
+                        broadcasts.extend(out);
+                        states.push(if on_time[s] { "ok" } else { "missed-barrier" });
+                    }
+                    Some(RoundOutcome::Failed(e)) => {
+                        states.push("failed");
+                        if failure.is_none() {
+                            failure = Some((s, ShardCause::Engine(Box::new(e))));
+                        }
+                    }
+                    Some(RoundOutcome::Panicked(m)) => {
+                        states.push("failed");
+                        if failure.is_none() {
+                            failure = Some((s, ShardCause::Panicked(m)));
+                        }
+                    }
+                    Some(RoundOutcome::Cancelled) => states.push("cancelled"),
+                    // The scope join means every shard thread finished;
+                    // an empty slot can only mean the thread died before
+                    // its deposit. Treat it like a missed barrier.
+                    None => states.push("missed-barrier"),
+                }
+            }
+            if failure.is_none() && states.iter().any(|st| *st != "ok") {
+                // No shard reported a hard failure, yet the round is
+                // incomplete: the watchdog expired (or a shard vanished).
+                // Blame the first shard that missed the barrier.
+                let victim = states
+                    .iter()
+                    .position(|st| *st == "missed-barrier")
+                    .or_else(|| states.iter().position(|st| *st != "ok"))
+                    .unwrap_or(0);
+                failure = Some((victim, ShardCause::Barrier { waited_ms }));
+            }
+            if let Some((shard, cause)) = failure {
+                let snapshot: Vec<ShardStatus> = (0..n)
+                    .map(|s| ShardStatus {
+                        shard: s,
+                        rounds_done: rounds_done[s],
+                        queued_edits: queued[s],
+                        exchanged_tuples: exch_sent[s],
+                        state: states[s],
+                    })
+                    .collect();
+                return Err(self.abort(shard, round, cause, barrier_timeout, batch_undo, snapshot));
             }
             if broadcasts.is_empty() {
                 break;
@@ -704,6 +1066,86 @@ impl ShardedEngine {
         reg.counter("shard.exchange.tuples")
             .add(report.exchanged_tuples as u64);
         Ok(report)
+    }
+
+    /// Cross-shard abort: roll every shard back to its pre-batch state
+    /// by reverse-replaying the staged undo logs, count the abort, dump
+    /// a flight-recorder black box spanning all shards' lanes, and
+    /// build the typed error. Nothing publishes — readers pinned on any
+    /// shard keep the last committed batch.
+    fn abort(
+        &mut self,
+        shard: usize,
+        round: usize,
+        cause: ShardCause,
+        barrier: bool,
+        batch_undo: Vec<Vec<(PredId, Delta)>>,
+        snapshot: Vec<ShardStatus>,
+    ) -> EngineError {
+        let t0 = Instant::now();
+        for (s, undo) in batch_undo.into_iter().enumerate() {
+            self.engines[s].rollback_batch(undo);
+        }
+        let reg = incr_obs::registry();
+        reg.counter("shard.rollback_ns")
+            .add(t0.elapsed().as_nanos() as u64);
+        reg.counter("shard.aborts").inc();
+        if barrier {
+            reg.counter("shard.exchange_timeouts").inc();
+        }
+        flight::instant(FlightCode::ShardAbort, shard as u64);
+        self.dump_black_box(shard, round, &cause, &snapshot);
+        EngineError::ShardFailed {
+            shard,
+            round,
+            cause,
+            snapshot,
+        }
+    }
+
+    /// Dump the flight recorder's rings — every shard's lanes, tagged
+    /// by [`flight::set_shard`] — with the abort's context record. IO
+    /// problems are counted, never propagated: the dump must not turn
+    /// one failure into two.
+    fn dump_black_box(
+        &self,
+        shard: usize,
+        round: usize,
+        cause: &ShardCause,
+        snapshot: &[ShardStatus],
+    ) {
+        let Some(dir) = self.black_box.as_deref() else {
+            return;
+        };
+        if !flight::enabled() {
+            return;
+        }
+        let shards_json = Json::Arr(
+            snapshot
+                .iter()
+                .map(|st| {
+                    Json::Obj(vec![
+                        ("shard".to_string(), st.shard.into()),
+                        ("rounds_done".to_string(), st.rounds_done.into()),
+                        ("queued_edits".to_string(), st.queued_edits.into()),
+                        ("exchanged_tuples".to_string(), st.exchanged_tuples.into()),
+                        ("state".to_string(), st.state.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let ctx: Vec<(&'static str, Json)> = vec![
+            ("error", cause.to_string().into()),
+            ("kind", "shard-failed".into()),
+            ("shard", shard.into()),
+            ("round", round.into()),
+            ("shards", shards_json),
+        ];
+        let reg = incr_obs::registry();
+        match flight::dump_to_dir(dir, "shard-failed", &ctx) {
+            Ok(_) => reg.counter("obs.flight.dumps").inc(),
+            Err(_) => reg.counter("obs.flight.dump_errors").inc(),
+        }
     }
 
     /// Does `pred(args…)` hold (symbols only)? Routed to the owner,
@@ -761,6 +1203,26 @@ mod tests {
 
     fn mk_sched(dag: Arc<Dag>) -> Box<dyn Scheduler + Send> {
         Box::new(LevelBased::new(dag))
+    }
+
+    /// Keep expected injected-panic unwinds out of test output. Same
+    /// contract as the runtime crate's `silence_injected_panics` (which
+    /// this crate cannot depend on): chained, idempotent, message-keyed.
+    fn silence_test_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("fault-injected panic"))
+                    .unwrap_or(false);
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
     }
 
     const TC: &str = "path(X, Y) :- edge(X, Y).\n\
@@ -924,6 +1386,121 @@ mod tests {
         let mut e = ShardedEngine::new(TC, 2, mk_sched).unwrap();
         assert!(e.update(&[FactEdit::add("path", &["x", "y"])]).is_err());
         assert!(e.update(&[FactEdit::add("nope", &["x"])]).is_err());
+    }
+
+    #[test]
+    fn injected_failure_rolls_back_all_shards_and_publishes_nothing() {
+        // `rev` mirror-reads `path`, so updates take ≥2 rounds and the
+        // injected round-1 failure lands *after* round 0 already applied
+        // engine deltas and mirror feeds on every shard.
+        let src = "path(X, Y) :- edge(X, Y).\n\
+                   path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+                   rev(Y, X) :- path(X, Y).\n\
+                   edge(a, b). edge(b, c).";
+        let mut e = ShardedEngine::new(src, 2, mk_sched).unwrap();
+        e.set_black_box(None);
+        let before_path = e.query("path(?, ?)").unwrap();
+        let before_rev = e.query("rev(?, ?)").unwrap();
+        let epoch = e.epoch();
+        e.set_fault_hook(Some(Arc::new(|s, r| {
+            (s == 1 && r == 1).then(|| ShardFault::Fail("boom".into()))
+        })));
+        let err = e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap_err();
+        match &err {
+            EngineError::ShardFailed {
+                shard,
+                round,
+                cause,
+                snapshot,
+            } => {
+                assert_eq!(*shard, 1);
+                assert_eq!(*round, 1);
+                assert!(matches!(cause, ShardCause::Engine(_)), "{cause}");
+                assert_eq!(snapshot.len(), 2);
+                assert_eq!(snapshot[1].state, "failed");
+            }
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        assert_eq!(e.query("path(?, ?)").unwrap(), before_path, "rolled back");
+        assert_eq!(e.query("rev(?, ?)").unwrap(), before_rev, "rolled back");
+        for s in 0..2 {
+            assert_eq!(e.shard(s).epoch(), epoch, "shard {s}: no epoch published");
+        }
+        // Disarmed retry converges bit-identically to fault-free.
+        e.set_fault_hook(None);
+        e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap();
+        assert!(e.has("path", &["a", "d"]));
+        assert!(e.has("rev", &["d", "a"]));
+        assert_eq!(e.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_typed() {
+        silence_test_panics();
+        let mut e = ShardedEngine::new(TC, 2, mk_sched).unwrap();
+        e.set_black_box(None);
+        let before = e.query("path(?, ?)").unwrap();
+        e.set_fault_hook(Some(Arc::new(|s, _| {
+            (s == 0).then(|| ShardFault::Panic("fault-injected panic: unit".into()))
+        })));
+        let err = e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap_err();
+        match &err {
+            EngineError::ShardFailed {
+                shard: 0,
+                cause: ShardCause::Panicked(m),
+                ..
+            } => assert!(m.contains("unit"), "payload preserved: {m}"),
+            other => panic!("expected panicked shard 0, got {other}"),
+        }
+        assert_eq!(e.query("path(?, ?)").unwrap(), before);
+        e.set_fault_hook(None);
+        e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap();
+        assert_eq!(e.count("path"), 6);
+    }
+
+    #[test]
+    fn barrier_watchdog_fires_and_cancels_siblings() {
+        let mut e = ShardedEngine::new(TC, 3, mk_sched).unwrap();
+        e.set_black_box(None);
+        e.set_round_deadline(Duration::from_millis(50));
+        let epoch = e.epoch();
+        let before = e.query("path(?, ?)").unwrap();
+        // A 30 s "stuck shard": only the watchdog + cancellation keep
+        // this test fast.
+        e.set_fault_hook(Some(Arc::new(|s, r| {
+            (s == 2 && r == 0).then(|| ShardFault::Delay(Duration::from_secs(30)))
+        })));
+        let t0 = Instant::now();
+        let err = e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "watchdog must fire within the deadline, not hang"
+        );
+        match &err {
+            EngineError::ShardFailed { shard, cause, .. } => {
+                assert_eq!(*shard, 2);
+                assert!(matches!(cause, ShardCause::Barrier { .. }), "{cause}");
+            }
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        assert_eq!(e.query("path(?, ?)").unwrap(), before);
+        assert_eq!(e.epoch(), epoch, "no epoch published");
+        e.set_fault_hook(None);
+        e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap();
+        assert_eq!(e.count("path"), 6);
+        assert_eq!(e.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn short_delay_under_deadline_still_commits() {
+        let mut e = ShardedEngine::new(TC, 2, mk_sched).unwrap();
+        e.set_black_box(None);
+        e.set_round_deadline(Duration::from_secs(10));
+        e.set_fault_hook(Some(Arc::new(|s, r| {
+            (s == 0 && r == 0).then(|| ShardFault::Delay(Duration::from_millis(20)))
+        })));
+        e.update(&[FactEdit::add("edge", &["c", "d"])]).unwrap();
+        assert_eq!(e.count("path"), 6, "a jittered barrier is not a failure");
     }
 
     /// Satellite invariant: pushing a mixed batch through one

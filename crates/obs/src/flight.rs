@@ -89,10 +89,14 @@ pub enum FlightCode {
     Reevaluate = 16,
     /// Journal replay resumed a partially-committed update.
     JournalReplay = 17,
+    /// One shard's participation in one cross-shard exchange round.
+    ShardRound = 18,
+    /// A sharded batch aborted and rolled back on every shard.
+    ShardAbort = 19,
 }
 
 /// All codes, indexable by discriminant — the decode table for slots.
-const CODES: [FlightCode; 18] = [
+const CODES: [FlightCode; 20] = [
     FlightCode::UpdateRun,
     FlightCode::PopBatch,
     FlightCode::Commit,
@@ -111,6 +115,8 @@ const CODES: [FlightCode; 18] = [
     FlightCode::DredInsert,
     FlightCode::Reevaluate,
     FlightCode::JournalReplay,
+    FlightCode::ShardRound,
+    FlightCode::ShardAbort,
 ];
 
 impl FlightCode {
@@ -139,6 +145,8 @@ impl FlightCode {
             FlightCode::DredInsert => "dred.insert",
             FlightCode::Reevaluate => "clique.reevaluate",
             FlightCode::JournalReplay => "exec.journal_replay",
+            FlightCode::ShardRound => "shard.round",
+            FlightCode::ShardAbort => "shard.abort",
         }
     }
 
@@ -153,6 +161,7 @@ impl FlightCode {
             | FlightCode::DredRederive
             | FlightCode::DredInsert
             | FlightCode::Reevaluate => "datalog",
+            FlightCode::ShardRound | FlightCode::ShardAbort => "shard",
             _ => "exec",
         }
     }
@@ -173,6 +182,8 @@ impl FlightCode {
             FlightCode::DredInsert => "inserted",
             FlightCode::Reevaluate => "nodes",
             FlightCode::JournalReplay => "replayed",
+            FlightCode::ShardRound => "round",
+            FlightCode::ShardAbort => "shard",
             _ => "value",
         }
     }

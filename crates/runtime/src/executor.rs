@@ -1896,6 +1896,11 @@ fn black_box_dump(cfg: &ExecConfig, error: &ExecError, scheduler: &str) {
         ("kind", error.kind().into()),
         ("scheduler", scheduler.into()),
     ];
+    if let Some(shard) = cfg.shard {
+        // In a sharded run each shard dumps its own black box; the tag
+        // lets a multi-shard failure be reassembled from the rotation.
+        ctx.push(("shard", shard.into()));
+    }
     if let ExecError::Timeout { snapshot } = error {
         ctx.push(("executed", snapshot.executed.into()));
         ctx.push(("queued_chunks", snapshot.queued_chunks.into()));

@@ -49,6 +49,118 @@ pub enum Fault {
     /// interleaving to shake out ordering assumptions without changing
     /// any outcome.
     DelayTask { micros: u64, every: u32 },
+    /// Shard-targeted: panic shard `shard` at the entry of exchange
+    /// round `round` of a sharded batch. Fires once, then disarms.
+    ShardPanic { shard: usize, round: usize },
+    /// Shard-targeted: delay shard `shard` by `micros` at the entry of
+    /// exchange round `round`. Below the round deadline this only
+    /// jitters the barrier; above it, it models a stuck shard the
+    /// watchdog must catch. Fires on every matching round until the
+    /// plan is disarmed.
+    ShardDelay { shard: usize, round: usize, micros: u64 },
+    /// Shard-targeted: shard `shard` returns a typed error (no panic)
+    /// on its first `k` interrogations, then succeeds.
+    ShardFailK { shard: usize, k: u32 },
+}
+
+/// What a shard-targeted plan injects at one `(shard, round)` site.
+/// Task-targeted faults never map to an action — they belong to the
+/// executor layer, not the cross-shard exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardAction {
+    /// Nothing injected at this site.
+    None,
+    /// Panic with this message (contains [`INJECTED_PANIC`]).
+    Panic(String),
+    /// Sleep this many microseconds before evaluating the round.
+    Delay(u64),
+    /// Return a typed shard error carrying this message.
+    Fail(String),
+}
+
+/// An armed instantiation of a [`FaultPlan`] for sharded runtimes.
+/// Where [`FaultPlan::wrap`] intercepts individual task executions, an
+/// armed shard plan is interrogated once per `(shard, round)` at the
+/// entry of each exchange round. Selection is purely positional —
+/// `(shard, round)` — so the same plan injects the same fault at the
+/// same site on every run regardless of barrier interleaving.
+///
+/// [`ArmedShardPlan::disarm`] turns every remaining fault off at once;
+/// the retry-after-failure suite uses it to assert that a rolled-back
+/// batch, retried with faults disarmed, converges bit-identically to
+/// the fault-free run.
+pub struct ArmedShardPlan {
+    plan: FaultPlan,
+    /// One fire-once flag per fault (indexed like `FaultPlan::faults`);
+    /// meaningful only for `ShardPanic`.
+    armed: Vec<AtomicBool>,
+    /// Interrogation counts per shard, for `ShardFailK`.
+    attempts: Mutex<HashMap<usize, u32>>,
+    disarmed: AtomicBool,
+}
+
+impl ArmedShardPlan {
+    /// What this plan injects at `(shard, round)`. The first matching
+    /// fault wins; panic faults disarm after firing so a retried batch
+    /// can complete.
+    pub fn action(&self, shard: usize, round: usize) -> ShardAction {
+        if self.disarmed.load(Ordering::SeqCst) {
+            return ShardAction::None;
+        }
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            match *fault {
+                Fault::ShardPanic {
+                    shard: victim,
+                    round: at,
+                } => {
+                    if shard == victim
+                        && round == at
+                        && self.armed[i].swap(false, Ordering::SeqCst)
+                    {
+                        return ShardAction::Panic(format!(
+                            "{INJECTED_PANIC}: shard {shard} at round {round}"
+                        ));
+                    }
+                }
+                Fault::ShardDelay {
+                    shard: victim,
+                    round: at,
+                    micros,
+                } => {
+                    if shard == victim && round == at {
+                        return ShardAction::Delay(micros);
+                    }
+                }
+                Fault::ShardFailK { shard: victim, k } => {
+                    if shard == victim {
+                        let mut attempts = self
+                            .attempts
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let a = attempts.entry(shard).or_insert(0);
+                        if *a < k {
+                            *a += 1;
+                            return ShardAction::Fail(format!(
+                                "injected shard fault: shard {shard} attempt {a} of {k}"
+                            ));
+                        }
+                    }
+                }
+                Fault::PanicAtNth { .. }
+                | Fault::PanicOnNode { .. }
+                | Fault::FailKThenSucceed { .. }
+                | Fault::DelayTask { .. } => {}
+            }
+        }
+        ShardAction::None
+    }
+
+    /// Turn every remaining fault off. Subsequent interrogations return
+    /// [`ShardAction::None`] — the disarmed-retry path of the chaos
+    /// suite.
+    pub fn disarm(&self) {
+        self.disarmed.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Shared mutable state of an armed plan. Lives behind an `Arc` inside
@@ -88,6 +200,19 @@ impl FaultPlan {
     /// this plan's seed? Pure — same answer on every call.
     pub fn selects(&self, node: NodeId, every: u32) -> bool {
         mix(self.seed, node.0 as u64).is_multiple_of(every.max(1) as u64)
+    }
+
+    /// Arm this plan for a sharded runtime. The result is interrogated
+    /// with [`ArmedShardPlan::action`] at each `(shard, round)` site;
+    /// task-targeted faults in the plan are ignored. Each call arms a
+    /// fresh state (counters at zero, everything re-armed).
+    pub fn arm_sharded(&self) -> Arc<ArmedShardPlan> {
+        Arc::new(ArmedShardPlan {
+            plan: self.clone(),
+            armed: self.faults.iter().map(|_| AtomicBool::new(true)).collect(),
+            attempts: Mutex::new(HashMap::new()),
+            disarmed: AtomicBool::new(false),
+        })
     }
 
     /// Wrap `inner` with this plan's faults. The returned task is what
@@ -135,6 +260,11 @@ impl FaultPlan {
                             std::thread::sleep(std::time::Duration::from_micros(micros));
                         }
                     }
+                    // Shard-targeted faults fire at exchange-round
+                    // entry via `arm_sharded`, never per task.
+                    Fault::ShardPanic { .. }
+                    | Fault::ShardDelay { .. }
+                    | Fault::ShardFailK { .. } => {}
                 }
             }
             inner(node, fired)
@@ -232,6 +362,46 @@ mod tests {
         assert_eq!(task(NodeId(5), &mut fired), TaskOutcome::Done);
         // A different node gets its own budget of failures.
         assert_eq!(task(NodeId(6), &mut fired), TaskOutcome::Retryable);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shard_plan_fires_positionally_and_disarms() {
+        let plan = FaultPlan::new(3)
+            .with(Fault::ShardPanic { shard: 1, round: 2 })
+            .with(Fault::ShardFailK { shard: 0, k: 2 })
+            .with(Fault::ShardDelay { shard: 2, round: 0, micros: 5 });
+        let armed = plan.arm_sharded();
+        assert_eq!(armed.action(1, 0), ShardAction::None, "wrong round");
+        assert_eq!(armed.action(3, 7), ShardAction::None, "untargeted shard");
+        assert_eq!(armed.action(2, 0), ShardAction::Delay(5));
+        assert_eq!(armed.action(2, 0), ShardAction::Delay(5), "delays repeat");
+        assert!(matches!(armed.action(0, 0), ShardAction::Fail(_)));
+        assert!(matches!(armed.action(0, 1), ShardAction::Fail(_)));
+        assert_eq!(armed.action(0, 2), ShardAction::None, "k exhausted");
+        match armed.action(1, 2) {
+            ShardAction::Panic(msg) => assert!(msg.contains(INJECTED_PANIC)),
+            other => panic!("expected panic action, got {other:?}"),
+        }
+        assert_eq!(armed.action(1, 2), ShardAction::None, "panic fires once");
+
+        // A fresh arm starts over; disarm turns everything off at once.
+        let rearmed = plan.arm_sharded();
+        assert!(matches!(rearmed.action(1, 2), ShardAction::Panic(_)));
+        rearmed.disarm();
+        assert_eq!(rearmed.action(0, 0), ShardAction::None);
+        assert_eq!(rearmed.action(2, 0), ShardAction::None);
+    }
+
+    #[test]
+    fn task_wrap_ignores_shard_faults() {
+        let count = Arc::new(AtomicU32::new(0));
+        let task = FaultPlan::new(5)
+            .with(Fault::ShardPanic { shard: 0, round: 0 })
+            .with(Fault::ShardFailK { shard: 0, k: 9 })
+            .wrap(counting_inner(count.clone()));
+        let mut fired = Vec::new();
+        assert_eq!(task(NodeId(0), &mut fired), TaskOutcome::Done);
         assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 

@@ -37,7 +37,9 @@ pub mod faults;
 pub mod sharded;
 
 pub use attribution::{analyze, flow_events, TaskSpan, UpdateAttribution};
-pub use sharded::{partition_stream, ShardedExecutor, ShardedStreamReport};
+pub use sharded::{
+    partition_stream, ShardFailure, ShardStreamError, ShardedExecutor, ShardedStreamReport,
+};
 pub use executor::{
     infallible, CancelToken, ExecConfig, ExecError, ExecReport, ExecSnapshot, Executor,
     RetryPolicy, StreamError, StreamPolicy, StreamReport, StreamUpdate, TaskFn, TaskOutcome,

@@ -13,10 +13,20 @@
 //! shard (possibly with an empty dirty set), so per-update indices — and
 //! therefore latency percentiles — remain comparable to an unsharded
 //! run of the same stream.
+//!
+//! **Failure propagation.** All shards observe one shared [`CancelToken`](crate::executor::CancelToken):
+//! the first shard whose stream fails with a real error (anything but
+//! [`ExecError::Cancelled`]) fires the token, and sibling shards abort at
+//! their next wavefront boundary instead of running their streams to
+//! completion against a result nobody will use. The aggregate
+//! [`ShardStreamError`] keeps every real failure (there can be more than
+//! one if two shards fail in the same window) plus the count of siblings
+//! that died by propagation only.
 
-use crate::executor::{ExecConfig, Executor, StreamError, StreamReport, TaskFn};
+use crate::executor::{ExecConfig, ExecError, Executor, StreamError, StreamReport, TaskFn};
 use incr_dag::{Dag, NodeId};
 use incr_sched::Scheduler;
+use std::fmt;
 use std::sync::Arc;
 
 /// Partition each update's dirty set by `node.index() % shards`,
@@ -70,6 +80,75 @@ impl ShardedStreamReport {
     }
 }
 
+/// One shard's terminal failure inside a sharded stream run.
+#[derive(Debug)]
+pub struct ShardFailure {
+    /// Which shard stream failed.
+    pub shard: usize,
+    /// Index of the first update the shard could not complete.
+    pub update: usize,
+    /// The shard's own stream error, with resume information intact.
+    pub error: Box<StreamError>,
+}
+
+impl ShardFailure {
+    /// One-line diagnostic: shard id, failing update index, cause.
+    pub fn diagnostic(&self) -> String {
+        format!(
+            "shard {} failed at update {}: {}",
+            self.shard, self.update, self.error.error
+        )
+    }
+}
+
+/// Aggregate failure of [`ShardedExecutor::run_stream`]: every shard
+/// that failed on its own, plus how many siblings were aborted purely by
+/// cancellation propagation. `failures` is ordered by shard index and is
+/// empty only when an external [`CancelToken`] (supplied via
+/// [`ExecConfig::cancel`]) cancelled the whole run.
+#[derive(Debug)]
+pub struct ShardStreamError {
+    /// Shards that failed with a real error, by shard index.
+    pub failures: Vec<ShardFailure>,
+    /// Sibling shards aborted by cancellation propagation only.
+    pub cancelled: usize,
+}
+
+impl ShardStreamError {
+    /// One diagnostic line per failed shard (shard id, update, cause),
+    /// plus a trailing line for propagated cancellations if any.
+    pub fn shard_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self.failures.iter().map(ShardFailure::diagnostic).collect();
+        if self.cancelled > 0 {
+            lines.push(format!(
+                "{} sibling shard(s) cancelled before completing their streams",
+                self.cancelled
+            ));
+        }
+        lines
+    }
+}
+
+impl fmt::Display for ShardStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.failures.as_slice() {
+            [] => write!(f, "all {} shard streams cancelled", self.cancelled),
+            [first, rest @ ..] => {
+                write!(f, "{}", first.diagnostic())?;
+                if !rest.is_empty() {
+                    write!(f, " (+{} more shard failures)", rest.len())?;
+                }
+                if self.cancelled > 0 {
+                    write!(f, "; {} sibling(s) cancelled", self.cancelled)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardStreamError {}
+
 /// N executors over hash-partitioned streams. See the module docs.
 pub struct ShardedExecutor {
     cfg: ExecConfig,
@@ -95,19 +174,28 @@ impl ShardedExecutor {
     }
 
     /// Run a closed-loop update stream partitioned across all shards.
-    /// `make_sched` builds one scheduler instance per shard. Fails with
-    /// the first shard error (other shards still run their streams to
-    /// completion or failure — there is no cross-shard abort).
+    /// `make_sched` builds one scheduler instance per shard.
+    ///
+    /// All shards share one [`CancelToken`](crate::executor::CancelToken) — the caller's
+    /// [`ExecConfig::cancel`] if set, else a run-local one — and the
+    /// first shard to fail with a real error cancels its siblings, so a
+    /// failing run winds down at the next wavefront boundaries instead of
+    /// letting healthy shards finish a stream whose result is already
+    /// lost. The returned [`ShardStreamError`] collects every real shard
+    /// failure and counts the propagated cancellations. A caller-supplied
+    /// token is left cancelled on the failure path; `reset()` it before
+    /// retrying.
     pub fn run_stream(
         &self,
         mut make_sched: impl FnMut(usize) -> Box<dyn Scheduler + Send>,
         dag: &Arc<Dag>,
         updates: &[Vec<NodeId>],
         task: TaskFn,
-    ) -> Result<ShardedStreamReport, Box<StreamError>> {
+    ) -> Result<ShardedStreamReport, Box<ShardStreamError>> {
         let streams = partition_stream(updates, self.shards);
         let mut scheds: Vec<Box<dyn Scheduler + Send>> =
             (0..self.shards).map(&mut make_sched).collect();
+        let cancel = self.cfg.cancel.clone().unwrap_or_default();
 
         let mut outcomes: Vec<Option<Result<StreamReport, Box<StreamError>>>> =
             (0..self.shards).map(|_| None).collect();
@@ -119,29 +207,79 @@ impl ShardedExecutor {
             {
                 let mut cfg = self.cfg.clone();
                 cfg.shard = Some(s as u64);
+                cfg.cancel = Some(cancel.clone());
+                let cancel = cancel.clone();
                 let dag = dag.clone();
                 let task = task.clone();
                 scope.spawn(move || {
                     incr_obs::flight::set_shard(s as u64 + 1);
-                    *out = Some(Executor::with_config(cfg).run_stream(
+                    let res = Executor::with_config(cfg).run_stream(
                         sched.as_mut(),
                         &dag,
                         stream,
                         task,
-                    ));
+                    );
+                    if matches!(&res, Err(e) if !matches!(e.error, ExecError::Cancelled { .. })) {
+                        // First real failure wins the race to abort the
+                        // siblings; cancelling an already-cancelled token
+                        // is a no-op, so ties are harmless.
+                        cancel.cancel();
+                    }
+                    *out = Some(res);
                 });
             }
         });
 
         let mut reports = Vec::with_capacity(self.shards);
-        for out in outcomes {
+        let mut failures = Vec::new();
+        let mut cancelled = 0usize;
+        for (s, out) in outcomes.into_iter().enumerate() {
             match out {
                 Some(Ok(r)) => reports.push(r),
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("every shard thread writes its outcome"),
+                Some(Err(e)) if matches!(e.error, ExecError::Cancelled { .. }) => cancelled += 1,
+                Some(Err(e)) => failures.push(ShardFailure {
+                    shard: s,
+                    update: e.completed.updates,
+                    error: e,
+                }),
+                // A scoped shard thread that exits without depositing its
+                // outcome has panicked, and `thread::scope` re-raises that
+                // panic at the join above — but if this arm ever runs,
+                // fail typed rather than trusting that invariant.
+                None => failures.push(ShardFailure {
+                    shard: s,
+                    update: 0,
+                    error: Box::new(StreamError {
+                        error: ExecError::Stall {
+                            scheduler: "shard coordinator vanished".to_string(),
+                        },
+                        completed: empty_report(),
+                        failed_initial: Vec::new(),
+                        failed_updates: 0,
+                    }),
+                }),
             }
         }
-        Ok(ShardedStreamReport { shards: reports })
+        if failures.is_empty() && cancelled == 0 {
+            Ok(ShardedStreamReport { shards: reports })
+        } else {
+            Err(Box::new(ShardStreamError { failures, cancelled }))
+        }
+    }
+}
+
+/// A zeroed [`StreamReport`] for synthesized failures that completed
+/// nothing.
+fn empty_report() -> StreamReport {
+    StreamReport {
+        updates: 0,
+        executed: 0,
+        wall_seconds: 0.0,
+        update_seconds: Vec::new(),
+        latency_seconds: Vec::new(),
+        batches: 0,
+        coalesced: 0,
+        coord_busy_fraction: 0.0,
     }
 }
 
@@ -213,5 +351,91 @@ mod tests {
             .run_stream(&mut sched, &dag, &updates, task)
             .expect("unsharded stream runs");
         assert_eq!(report.executed(), solo.executed);
+    }
+
+    #[test]
+    fn shard_failure_cancels_siblings_and_reports_per_shard() {
+        crate::faults::silence_injected_panics();
+        let dag = layered();
+        // Every update touches all three shards (9 % 3 == 0, 10 % 3 == 1,
+        // 11 % 3 == 2) and every task spins, so sibling shards are still
+        // mid-stream when the victim dies partway through.
+        let updates: Vec<Vec<NodeId>> =
+            (0..400).map(|_| vec![NodeId(9), NodeId(10), NodeId(11)]).collect();
+        // Panic in shard 0 (node 9's owner) on its 50th execution.
+        let task: TaskFn = {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let hits = Arc::new(AtomicUsize::new(0));
+            Arc::new(move |v: NodeId, _out: &mut Vec<NodeId>| {
+                let t0 = std::time::Instant::now();
+                while t0.elapsed().as_micros() < 100 {
+                    std::hint::spin_loop();
+                }
+                if v == NodeId(9) && hits.fetch_add(1, Ordering::SeqCst) == 50 {
+                    panic!("{}: task 9 dies", crate::faults::INJECTED_PANIC);
+                }
+            })
+        };
+
+        let mut cfg = ExecConfig::new(2);
+        cfg.black_box = None;
+        let exec = ShardedExecutor::with_config(3, cfg);
+        let err = exec
+            .run_stream(
+                |_| Box::new(LevelBased::new(dag.clone())) as Box<dyn Scheduler + Send>,
+                &dag,
+                &updates,
+                task,
+            )
+            .expect_err("injected panic must fail the sharded stream");
+
+        // Exactly the owning shard fails with a typed panic error; the
+        // diagnostic names the shard, the update, and the cause.
+        assert!(!err.failures.is_empty(), "at least the victim shard fails");
+        let victim = &err.failures[0];
+        assert_eq!(victim.shard, 9 % 3, "node 9's owner is the victim");
+        assert!(
+            matches!(victim.error.error, ExecError::TaskPanicked { node: NodeId(9), .. }),
+            "typed panic, got {:?}",
+            victim.error.error
+        );
+        let line = victim.diagnostic();
+        assert!(line.contains("shard 0") && line.contains("update"), "{line}");
+        assert!(!line.contains('\n'), "diagnostics must be one line: {line}");
+        for l in err.shard_lines() {
+            assert!(!l.contains('\n'), "one line per shard: {l}");
+        }
+        // Display is one line too (the CLI prints it directly).
+        assert!(!err.to_string().contains('\n'));
+        // The shared token aborted at least one mid-stream sibling instead
+        // of letting it drive the remaining ~350 updates to completion.
+        assert!(
+            err.cancelled >= 1,
+            "cancellation must propagate to siblings: {err:?}"
+        );
+        assert!(err.failures.len() + err.cancelled <= 3);
+    }
+
+    #[test]
+    fn external_cancel_aborts_every_shard() {
+        let dag = layered();
+        let updates: Vec<Vec<NodeId>> = (0..500).map(|_| vec![NodeId(0)]).collect();
+        let token = crate::executor::CancelToken::new();
+        token.cancel(); // pre-cancelled: every shard aborts immediately
+        let mut cfg = ExecConfig::new(1);
+        cfg.cancel = Some(token);
+        cfg.black_box = None;
+        let task: TaskFn = Arc::new(|_, _| {});
+        let err = ShardedExecutor::with_config(2, cfg)
+            .run_stream(
+                |_| Box::new(LevelBased::new(dag.clone())) as Box<dyn Scheduler + Send>,
+                &dag,
+                &updates,
+                task,
+            )
+            .expect_err("pre-cancelled token aborts the run");
+        assert!(err.failures.is_empty(), "no real failures: {err}");
+        assert_eq!(err.cancelled, 2, "both shards cancelled");
+        assert!(err.to_string().contains("cancelled"));
     }
 }

@@ -423,7 +423,10 @@ fn cmd_stream(args: &[String]) -> i32 {
         let report = match exec.run_stream(|_| kind.build(dag.clone()), &dag, &stream, task) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("stream failed: {e}");
+                eprintln!("sharded stream failed:");
+                for line in e.shard_lines() {
+                    eprintln!("  {line}");
+                }
                 return 1;
             }
         };

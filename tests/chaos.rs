@@ -517,3 +517,69 @@ fn cancelled_update_leaves_scheduler_restartable() {
         );
     }
 }
+
+/// ISSUE 9: a shard whose stream fails with a real error must surface as
+/// a typed per-shard failure AND cancel its sibling shards mid-stream —
+/// no hang, no lost diagnostics, no sibling left driving a stream whose
+/// result is already unusable. Swept across all five schedulers.
+#[test]
+fn sharded_stream_failure_is_typed_and_cancels_siblings() {
+    use datalog_sched::runtime::executor::TaskFn;
+    use datalog_sched::runtime::ShardedExecutor;
+    silence_injected_panics();
+
+    let dag = Arc::new(random::layered(random::LayeredParams {
+        layers: 6,
+        width: 32,
+        max_in: 3,
+        back_span: 2,
+        seed: 9,
+    }));
+    // Every update touches all three shards (9 % 3 == 0, 10 % 3 == 1,
+    // 11 % 3 == 2); spinning tasks keep siblings mid-stream when the
+    // victim dies.
+    let updates: Vec<Vec<NodeId>> =
+        (0..400).map(|_| vec![NodeId(9), NodeId(10), NodeId(11)]).collect();
+
+    for kind in SCHEDS {
+        let task: TaskFn = {
+            let hits = Arc::new(AtomicU32::new(0));
+            Arc::new(move |v: NodeId, _out: &mut Vec<NodeId>| {
+                let t0 = Instant::now();
+                while t0.elapsed().as_micros() < 100 {
+                    std::hint::spin_loop();
+                }
+                if v == NodeId(9) && hits.fetch_add(1, Ordering::SeqCst) == 50 {
+                    panic!(
+                        "{}: shard 0 victim",
+                        datalog_sched::runtime::faults::INJECTED_PANIC
+                    );
+                }
+            })
+        };
+        let mut cfg = ExecConfig::new(2);
+        cfg.black_box = None;
+        let t0 = Instant::now();
+        let err = ShardedExecutor::with_config(3, cfg)
+            .run_stream(|_| kind.build(dag.clone()), &dag, &updates, task)
+            .expect_err("injected panic must fail the sharded stream");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "{kind:?}: sharded failure must not hang"
+        );
+        let victim = &err.failures[0];
+        assert_eq!(victim.shard, 0, "{kind:?}: node 9's owner fails");
+        assert!(
+            matches!(victim.error.error, ExecError::TaskPanicked { node: NodeId(9), .. }),
+            "{kind:?}: typed panic, got {:?}",
+            victim.error.error
+        );
+        assert!(
+            err.cancelled >= 1,
+            "{kind:?}: cancellation must reach at least one sibling: {err:?}"
+        );
+        for line in err.shard_lines() {
+            assert!(!line.contains('\n'), "{kind:?}: one line per shard: {line}");
+        }
+    }
+}
