@@ -5,14 +5,16 @@
 //! activation of 532 descendants out of 1,680 total descendants — "most
 //! of the descendants do not need to be recomputed."
 //!
-//! This binary reports the same census for the regenerated trace and
-//! writes a DOT excerpt of the activated region (the full DAG "printed at
-//! 300 DPI would be a mile long").
+//! This binary reports the same census for the regenerated trace —
+//! `results/figure1.json` (ResultsWriter schema v1) plus the table on
+//! stdout — and writes a DOT excerpt of the activated region (the full
+//! DAG "printed at 300 DPI would be a mile long").
 //!
 //! Usage: `cargo run --release -p incr-bench --bin figure1 [dot_path]`
 
-use incr_bench::Table;
+use incr_bench::{ResultsWriter, Table};
 use incr_dag::dot::{to_dot, DotOptions};
+use incr_obs::json::obj;
 use incr_traces::{generate, preset, trace_stats};
 
 fn main() {
@@ -54,6 +56,22 @@ fn main() {
         st.total_descendants - st.activated_descendants,
         st.total_descendants
     );
+
+    let mut results = ResultsWriter::new("figure1", 0);
+    results.push_row(obj([
+        ("trace", "#1".into()),
+        ("scheduler", "-".into()),
+        ("vertices", (st.nodes as u64).into()),
+        ("edges", (st.edges as u64).into()),
+        ("initial_tasks", (st.initial_tasks as u64).into()),
+        ("activated_descendants", (st.activated_descendants as u64).into()),
+        ("total_descendants", (st.total_descendants as u64).into()),
+        ("paper_vertices", 64910u64.into()),
+        ("paper_edges", 101327u64.into()),
+        ("paper_activated_descendants", 532u64.into()),
+        ("paper_total_descendants", 1680u64.into()),
+    ]));
+    results.write_default();
 
     if let Some(path) = dot_path {
         // Excerpt: the DAG restricted to a renderable prefix, activated

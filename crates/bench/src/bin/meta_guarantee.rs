@@ -6,9 +6,13 @@
 //! the Figure 2 example (bad for LevelBased) and the chain-fan (bad for
 //! LogicBlox), plus random layered traces.
 //!
+//! Writes `results/meta_guarantee.json` (ResultsWriter schema v1)
+//! alongside the stdout tables.
+//!
 //! Usage: `cargo run --release -p incr-bench --bin meta_guarantee`
 
-use incr_bench::{fmt_secs, Table, PAPER_PROCESSORS};
+use incr_bench::{fmt_secs, ResultsWriter, Table, PAPER_PROCESSORS};
+use incr_obs::json::obj;
 use incr_sched::{CostPrices, LevelBased, LogicBlox};
 use incr_sim::{simulate_event, simulate_meta, EventSimConfig, MetaConfig};
 use incr_traces::adversarial::{figure2, lbx_cubic};
@@ -32,6 +36,8 @@ fn main() {
         "winner",
         "ok",
     ]);
+
+    let mut results = ResultsWriter::new("meta_guarantee", PAPER_PROCESSORS);
 
     let mut check = |name: &str, inst: &incr_sched::Instance| {
         let ta = {
@@ -65,6 +71,16 @@ fn main() {
             r.winner.to_string(),
             ok.to_string(),
         ]);
+        results.push_row(obj([
+            ("trace", name.into()),
+            ("scheduler", "Meta(LogicBlox|LevelBased)".into()),
+            ("t_a_s", ta.into()),
+            ("t_b_s", tb.into()),
+            ("meta_makespan_s", r.makespan.into()),
+            ("bound_s", bound.into()),
+            ("winner", r.winner.into()),
+            ("within_bound", ok.into()),
+        ]));
         assert!(ok, "Theorem 10 bound violated on {name}");
     };
 
@@ -101,4 +117,13 @@ fn main() {
     );
     assert!(r.a_aborted && r.winner == "LevelBased");
     println!("fallback behaves as Corollary 11 requires.");
+
+    results.push_row(obj([
+        ("trace", "lbx_cubic(2000) @ 64 B budget".into()),
+        ("scheduler", "Meta(LogicBlox|LevelBased)".into()),
+        ("meta_makespan_s", r.makespan.into()),
+        ("winner", r.winner.into()),
+        ("a_aborted", r.a_aborted.into()),
+    ]));
+    results.write_default();
 }

@@ -11,9 +11,13 @@
 //!   makespan(LB) ≪ makespan(LogicBlox);
 //! * Theorem 10 bound on both structures.
 //!
+//! Writes `results/robustness.json` (ResultsWriter schema v1) alongside
+//! the stdout tables.
+//!
 //! Usage: `cargo run --release -p incr-bench --bin robustness [n_seeds]`
 
-use incr_bench::{measure, Table, PAPER_PROCESSORS};
+use incr_bench::{measure, ResultsWriter, Table, PAPER_PROCESSORS};
+use incr_obs::json::obj;
 use incr_sched::SchedulerKind;
 use incr_sim::EventSimConfig;
 use incr_traces::{generate, preset};
@@ -30,6 +34,7 @@ fn main() {
 
     println!("Table II shape across seeds (trace #3 structure)\n");
     let mut t2 = Table::new(&["seed", "LogicBlox", "LBL(15)", "LevelBased", "ordering ok"]);
+    let mut results = ResultsWriter::new("robustness", PAPER_PROCESSORS);
     let mut ok_all = true;
     for seed in 0..n_seeds {
         let mut spec = preset(3);
@@ -48,6 +53,14 @@ fn main() {
             format!("{lb:.1}"),
             ok.to_string(),
         ]);
+        results.push_row(obj([
+            ("trace", format!("table2/seed={seed}").as_str().into()),
+            ("scheduler", "-".into()),
+            ("logicblox_makespan_s", lbx.into()),
+            ("lbl15_makespan_s", lbl.into()),
+            ("levelbased_makespan_s", lb.into()),
+            ("ordering_ok", ok.into()),
+        ]));
     }
     println!("{}", t2.render());
 
@@ -82,9 +95,20 @@ fn main() {
             format!("{:.3}", hy.sched_overhead),
             ok.to_string(),
         ]);
+        results.push_row(obj([
+            ("trace", format!("table3/seed={seed}").as_str().into()),
+            ("scheduler", "-".into()),
+            ("logicblox_makespan_s", lbx.makespan.into()),
+            ("logicblox_overhead_s", lbx.sched_overhead.into()),
+            ("levelbased_makespan_s", lb.makespan.into()),
+            ("levelbased_overhead_s", lb.sched_overhead.into()),
+            ("hybrid_bg_overhead_s", hy.sched_overhead.into()),
+            ("ordering_ok", ok.into()),
+        ]));
     }
     println!("{}", t3.render());
 
     assert!(ok_all, "a qualitative ordering failed under reseeding");
     println!("all qualitative orderings survive reseeding ({n_seeds} seeds).");
+    results.write_default();
 }

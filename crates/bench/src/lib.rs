@@ -18,8 +18,10 @@
 //! This library holds the shared measurement helpers so every binary
 //! reports the same quantities the same way.
 
+pub mod attack;
 pub mod results;
 
+pub use attack::{AttackConfig, AttackWorkload};
 pub use results::{measurement_row, peak_gauges, ResultsWriter, SCHEMA_VERSION};
 
 use incr_sched::{Instance, SchedulerKind};

@@ -106,9 +106,32 @@ impl ResultsWriter {
     }
 
     /// Write `dir/<bin>.json`, creating `dir` if needed.
+    ///
+    /// Refuses to overwrite an existing results file whose
+    /// `schema_version` differs from [`SCHEMA_VERSION`]: a stale file
+    /// from an older layout must be migrated (or deleted) consciously,
+    /// not silently clobbered — and, symmetrically, an old binary must
+    /// not downgrade a newer file.
     pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.bin));
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            let found = Json::parse(&existing)
+                .ok()
+                .and_then(|doc| doc.get("schema_version").and_then(Json::as_u64));
+            if found != Some(SCHEMA_VERSION) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!(
+                        "{} has schema_version {:?}, this binary writes v{}; \
+                         delete the stale file to regenerate it",
+                        path.display(),
+                        found,
+                        SCHEMA_VERSION
+                    ),
+                ));
+            }
+        }
         std::fs::write(&path, self.to_value().to_json())?;
         Ok(path)
     }
@@ -220,6 +243,27 @@ mod tests {
         let path = w.write_to(&dir).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(Json::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refuses_to_clobber_mismatched_schema() {
+        let dir = std::env::temp_dir().join("incr_bench_schema_guard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let w = ResultsWriter::new("guard_test", 8);
+        let path = dir.join("guard_test.json");
+
+        // Stale versioned file (older schema) → refused.
+        std::fs::write(&path, "{\"schema_version\": 0, \"rows\": []}").unwrap();
+        assert!(w.write_to(&dir).is_err(), "must refuse schema_version 0");
+        // Unversioned junk (legacy .txt renamed, hand-edited) → refused.
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(w.write_to(&dir).is_err(), "must refuse unparseable file");
+        // Matching schema → overwritten in place.
+        std::fs::write(&path, "{\"schema_version\": 1}").unwrap();
+        let written = w.write_to(&dir).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(doc.get("bin").unwrap().as_str(), Some("guard_test"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::ast::Program;
 use crate::eval::{compile_program_with, load_facts, seminaive_scc_opts, CRule};
+use crate::fbf::{init_counts_scc, update_scc_fbf, MaintenanceStrategy};
 use crate::incr::{reevaluate_scc_opts, update_scc_opts, Delta};
 use crate::mvcc::{DbCell, PinRegistry, ReaderHandle, Snapshot};
 use crate::par::EvalOptions;
@@ -227,6 +228,16 @@ impl IncrementalEngine {
                 seminaive_scc_opts(&mut db, &rules, preds, HashMap::new(), true, &opts);
             }
         }
+        // FBF updates rely on exact derivation counts being in place
+        // before the first delta arrives (see `crate::fbf`).
+        if opts.maintenance == MaintenanceStrategy::Fbf {
+            for &v in graph.dag.topo_order() {
+                if let NodeKind::Clique { preds, .. } = &graph.kinds[v.index()] {
+                    let rules = node_rules[v.index()].clone();
+                    init_counts_scc(&mut db, &rules, preds, &opts);
+                }
+            }
+        }
         db.publish(u64::MAX);
         Ok(IncrementalEngine {
             db: Arc::new(DbCell::new(db)),
@@ -246,12 +257,33 @@ impl IncrementalEngine {
     }
 
     /// Swap the evaluation options. Changing the index mode recompiles
-    /// the program (join plans are baked into the rules).
+    /// the program (join plans are baked into the rules); switching the
+    /// maintenance backend to FBF (re)establishes derivation counts,
+    /// which may be stale after a stretch of DRed updates.
     pub fn set_eval_options(&mut self, opts: EvalOptions) {
         let recompile = opts.index_mode != self.opts.index_mode;
+        let recount = opts.maintenance == MaintenanceStrategy::Fbf
+            && self.opts.maintenance != MaintenanceStrategy::Fbf;
         self.opts = opts;
         if recompile {
             self.rebuild().expect("program unchanged, rebuild cannot fail");
+        }
+        if recount {
+            self.reinit_counts();
+        }
+    }
+
+    /// Recompute exact derivation counts for every clique — the FBF
+    /// recovery primitive. Counts are a pure function of extents and
+    /// rules, so this restores consistency after any extent-level
+    /// restoration (rollback) or strategy switch.
+    fn reinit_counts(&mut self) {
+        let mut db = self.db_write();
+        for &v in self.graph.dag.topo_order() {
+            if let NodeKind::Clique { preds, .. } = &self.graph.kinds[v.index()] {
+                let rules = self.node_rules[v.index()].clone();
+                init_counts_scc(&mut db, &rules, preds, &self.opts);
+            }
         }
     }
 
@@ -644,7 +676,14 @@ impl IncrementalEngine {
                             // both correct and exact.
                             reevaluate_scc_opts(&mut db, &rules, preds, &self.opts)
                         } else {
-                            update_scc_opts(&mut db, &rules, preds, &input, &self.opts)
+                            match self.opts.maintenance {
+                                MaintenanceStrategy::DRed => {
+                                    update_scc_opts(&mut db, &rules, preds, &input, &self.opts)
+                                }
+                                MaintenanceStrategy::Fbf => {
+                                    update_scc_fbf(&mut db, &rules, preds, &input, &self.opts)
+                                }
+                            }
                         };
                         // The clique just mutated the database by these net
                         // deltas; log them so a failed update can roll back.
@@ -751,6 +790,15 @@ impl IncrementalEngine {
             for t in &d.removed {
                 rel.insert(t.clone());
             }
+        }
+        drop(db);
+        // FBF derivation counts are not part of the undo log (a count
+        // can change without any extent change, e.g. a decrement that
+        // saved a deletion). They are a pure function of the restored
+        // extents, so a recount makes recovery exact — and idempotent,
+        // since recounting twice is a no-op.
+        if self.opts.maintenance == MaintenanceStrategy::Fbf {
+            self.reinit_counts();
         }
     }
 
@@ -876,7 +924,16 @@ impl IncrementalEngine {
             match &self.graph.kinds[node.index()] {
                 NodeKind::Clique { preds, .. } => {
                     let rules = self.node_rules[node.index()].clone();
-                    reevaluate_scc_opts(&mut db, &rules, preds, &self.opts)
+                    let out = reevaluate_scc_opts(&mut db, &rules, preds, &self.opts);
+                    // Re-evaluation rebuilt the extents from scratch on
+                    // fresh rows whose counts are zero; under FBF the
+                    // changed rule set also changes what counts as a
+                    // non-recursive derivation, so recount this clique
+                    // before the delta propagates downstream.
+                    if self.opts.maintenance == MaintenanceStrategy::Fbf {
+                        init_counts_scc(&mut db, &rules, preds, &self.opts);
+                    }
+                    out
                 }
                 NodeKind::Base(_) => {
                     // The last rule for this predicate was removed: it is

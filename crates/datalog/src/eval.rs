@@ -662,6 +662,100 @@ fn exists_from(
     }
 }
 
+/// How many distinct derivations (complete body bindings) does `rule`
+/// have for the ground head tuple `t` under the current extents? The
+/// counting sibling of [`rule_derives`]: the same head binding and
+/// check plan, but exhaustive instead of early-exit — the per-candidate
+/// backward-search primitive behind counting (FBF) maintenance, where
+/// the answer becomes the tuple's stored support.
+pub fn rule_derivation_count(db: &dyn Rels, rule: &CRule, t: &[Value]) -> u64 {
+    debug_assert!(
+        rule.agg.is_none(),
+        "aggregate cliques are re-evaluated, never counted"
+    );
+    let mut bind: Vec<Option<Value>> = vec![None; rule.nvars as usize];
+    let mut trail: Vec<u32> = Vec::new();
+    if !matches(&rule.head, t, &mut bind, &mut trail) {
+        return 0;
+    }
+    let mut n = 0u64;
+    count_from(db, rule, 0, &mut bind, &mut trail, &mut n);
+    n
+}
+
+/// Exhaustive body search for [`rule_derivation_count`]: every complete
+/// binding bumps `n` (safety grounds each binding in the positive atoms,
+/// so bindings are in bijection with derivations).
+fn count_from(
+    db: &dyn Rels,
+    rule: &CRule,
+    depth: usize,
+    bind: &mut Vec<Option<Value>>,
+    trail: &mut Vec<u32>,
+    n: &mut u64,
+) {
+    if depth == rule.body.len() {
+        *n += 1;
+        return;
+    }
+    let (atom, negated) = &rule.body[depth];
+    if *negated {
+        let tuple = instantiate(atom, bind);
+        if !db.relation(atom.pred).contains(&tuple) {
+            count_from(db, rule, depth + 1, bind, trail, n);
+        }
+        return;
+    }
+    let rel = db.relation(atom.pred);
+
+    macro_rules! count_loop {
+        ($tuples:expr) => {{
+            for tuple in $tuples {
+                let mark = trail.len();
+                if matches(atom, tuple, bind, trail) {
+                    count_from(db, rule, depth + 1, bind, trail, n);
+                    for &s in &trail[mark..] {
+                        bind[s as usize] = None;
+                    }
+                    trail.truncate(mark);
+                }
+            }
+        }};
+    }
+
+    match &rule.check_plan[depth] {
+        Access::AllBound => {
+            let tuple = instantiate(atom, bind);
+            metrics().hit.inc();
+            if rel.contains(&tuple) {
+                count_from(db, rule, depth + 1, bind, trail, n);
+            }
+        }
+        Access::Index(cols) => {
+            let key: Vec<Value> = cols.iter().map(|&c| resolve(&atom.terms[c], bind)).collect();
+            match rel.probe(cols, &key) {
+                Some(p) => {
+                    let m = metrics();
+                    if p.is_empty() {
+                        m.miss.inc();
+                    } else {
+                        m.hit.inc();
+                    }
+                    count_loop!(p.iter())
+                }
+                None => {
+                    metrics().scan.inc();
+                    count_loop!(rel.iter())
+                }
+            }
+        }
+        Access::Scan => {
+            metrics().scan.inc();
+            count_loop!(rel.iter())
+        }
+    }
+}
+
 /// Naive evaluation to fixpoint over ALL rules — the reference semantics
 /// that semi-naive and the incremental paths are tested against.
 pub fn naive_fixpoint(db: &mut Database, rules: &[CRule]) {

@@ -1,0 +1,957 @@
+//! Counting-based backward/forward (FBF) maintenance: the
+//! deletion-heavy alternative to DRed.
+//!
+//! DRed ([`crate::incr`]) treats every deletion pessimistically: it
+//! overdeletes everything a removed tuple *might* have supported, then
+//! rederives the survivors. On deletion-heavy streams most overdeleted
+//! tuples come straight back, and DRed additionally clones the clique's
+//! entire extent (`old_scc`) on every update just to diff it. FBF keeps
+//! a per-tuple **derivation count** in the row arena instead
+//! ([`crate::rel::Relation::support`]) so most deletions resolve to a
+//! counter decrement with no propagation at all.
+//!
+//! ## Count semantics
+//!
+//! `support(t)` tracks derivations of `t` through the clique's
+//! **non-recursive** rules only — rules with no body atom inside the
+//! clique. Those counts are exact under a counting algebra because every
+//! complete variable binding of a safe rule is one derivation
+//! ([`rule_derivation_count`] enumerates them). Recursive rules are never
+//! counted: cyclic support makes counting unsound there, so recursive
+//! SCCs fall back to a DRed-style delete/rederive pass *restricted to
+//! the recursive rules* (the forward phase below).
+//!
+//! The stored count obeys the invariant the update relies on:
+//!
+//! > `stored(t) = 0` iff `t` has no non-recursive derivation; otherwise
+//! > `1 <= stored(t) <= true_count(t)`.
+//!
+//! Undercounts *above zero* are harmless (they only force an extra
+//! exact recount); overcounts would wrongly skip deletions, so
+//! membership transitions are only ever decided from an exact recount,
+//! and the decrement fast path never crosses zero. The zero side is
+//! load-bearing: a deleted candidate with a stored zero is rederived
+//! through the recursive rules *only*, so a tuple whose non-recursive
+//! support was never counted would be lost. [`init_counts_scc`] must
+//! therefore run before the first FBF update — the engine does so at
+//! materialization, on strategy switch, and after a rollback (counts
+//! are a pure function of extents and rules, so recovery is a recount,
+//! not a replay).
+//!
+//! ## One update
+//!
+//! 1. **Count** — pin the input deltas into the non-recursive rules
+//!    twice: once against the *old* view with multiset semantics
+//!    ([`eval_pin_jobs_counted`]) to get `D(t)`, an overestimate of the
+//!    derivations each head tuple lost (a derivation using two changed
+//!    inputs is counted twice — safely high), and once against the new
+//!    state with set semantics to get `A`, the tuples that may have
+//!    gained derivations. A tuple with `t ∉ A` and `stored − D(t) > 0`
+//!    is decremented and **saved**: no backward check, no propagation,
+//!    no extent touch (`datalog.fbf.count_saved_deletes`).
+//! 2. **Backward** — everything else is recounted exactly
+//!    (`datalog.fbf.backward_checks`); transitions to zero become
+//!    deletion candidates, absent tuples with new support become
+//!    insertions.
+//! 3. **Forward** (recursive SCCs only) — count-zeroed tuples plus heads
+//!    of destroyed recursive derivations seed a cascade over the
+//!    recursive rules; candidates whose count is still positive are
+//!    saved without cascading. Deleted candidates are rederived through
+//!    recursive rules only (their non-recursive count is exactly zero),
+//!    and insertions propagate semi-naively
+//!    (`datalog.fbf.forward_rederive_ns`).
+//!
+//! Non-recursive cliques skip phase 3 *and* the `old_scc` extent clone
+//! entirely — the dominant saving at high delete ratios.
+//!
+//! Counts ride the MVCC row arena: they are head-state metadata stamped
+//! on live rows, invisible to snapshot readers, and a re-insert after a
+//! tombstone allocates a fresh row whose count starts at zero (support
+//! is re-established by whichever phase inserts it). Under sharding,
+//! mirrors are base predicates and counts live only on derived
+//! predicates, so each shard maintains its counts locally from the
+//! exchanged deltas; rollback restores them by recounting.
+
+use crate::eval::{
+    ensure_indices, rule_derivation_count, rule_derives, seminaive_scc_opts, CRule, PinMode,
+    Rels,
+};
+use crate::incr::{net_deltas, sorted_list, Delta, OldView, ScopeCounter};
+use crate::par::{collect_jobs, eval_pin_jobs, eval_pin_jobs_counted, EvalOptions, PinJob};
+use crate::rel::{Database, PredId, Relation};
+use crate::value::Tuple;
+use incr_obs::flight::{self, FlightCode};
+use incr_obs::trace;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Which incremental maintenance backend non-aggregate cliques run under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MaintenanceStrategy {
+    /// Classic delete/rederive: overdelete, rederive, insert.
+    #[default]
+    DRed,
+    /// Counting-based backward/forward: per-tuple derivation counts with
+    /// a recursive-SCC fallback.
+    Fbf,
+}
+
+impl MaintenanceStrategy {
+    /// Parse a CLI/config spelling (`dred`, `fbf`, `counting`).
+    pub fn parse(s: &str) -> Option<MaintenanceStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "dred" => Some(MaintenanceStrategy::DRed),
+            "fbf" | "counting" => Some(MaintenanceStrategy::Fbf),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MaintenanceStrategy::DRed => "dred",
+            MaintenanceStrategy::Fbf => "fbf",
+        }
+    }
+}
+
+impl std::fmt::Display for MaintenanceStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counts saturate at the column width; a saturated count only ever
+/// *undercounts*, which the invariant tolerates.
+fn sat(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// A rule is recursive iff any body atom (positive or negated) reads a
+/// clique predicate. Stratification rejects negation within a clique, so
+/// in practice only positive atoms qualify; checking both is free.
+fn is_recursive(rule: &CRule, scc: &HashSet<PredId>) -> bool {
+    rule.body.iter().any(|(a, _)| scc.contains(&a.pred))
+}
+
+/// Pin jobs for one rule set over the given input delta lists.
+/// `destruction` selects the lost-derivation pins (removed positives,
+/// added blockers) evaluated against the old view; otherwise the
+/// gained-derivation pins (added positives, removed blockers) against
+/// the new state.
+fn input_pin_jobs<'a>(
+    rules: &[&'a CRule],
+    input_lists: &'a HashMap<PredId, (Vec<Tuple>, Vec<Tuple>)>,
+    opts: &EvalOptions,
+    destruction: bool,
+) -> Vec<PinJob<'a>> {
+    let mut jobs: Vec<PinJob<'a>> = Vec::new();
+    for &rule in rules {
+        for (j, (atom, negated)) in rule.body.iter().enumerate() {
+            let Some((added, removed)) = input_lists.get(&atom.pred) else {
+                continue;
+            };
+            let (mode, list) = match (destruction, *negated) {
+                (true, false) => (PinMode::Positive, removed),
+                (true, true) => (PinMode::NegLost, added),
+                (false, false) => (PinMode::Positive, added),
+                (false, true) => (PinMode::NegGained, removed),
+            };
+            for chunk in opts.chunks(list) {
+                jobs.push(PinJob {
+                    rule,
+                    pos: j,
+                    mode,
+                    chunk,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Apply an update to one non-aggregate clique under counting/FBF
+/// maintenance. Same contract as [`crate::incr::update_scc_opts`]: the
+/// input deltas are final and already applied to `db`; the return value
+/// is the clique's net output delta per predicate.
+pub fn update_scc_fbf(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+    input: &HashMap<PredId, Delta>,
+    opts: &EvalOptions,
+) -> HashMap<PredId, Delta> {
+    debug_assert!(
+        rules.iter().all(|r| r.agg.is_none()),
+        "aggregate cliques are re-evaluated wholesale, never counted"
+    );
+    ensure_indices(db, rules, true);
+
+    let scc_set: HashSet<PredId> = scc_preds.iter().copied().collect();
+    let nonrec: Vec<&CRule> = rules.iter().filter(|r| !is_recursive(r, &scc_set)).collect();
+    let rec: Vec<&CRule> = rules.iter().filter(|r| is_recursive(r, &scc_set)).collect();
+
+    // Old extents of the *inputs* only — unlike DRed, the clique's own
+    // extents are cloned only on the recursive path.
+    let mut old: HashMap<PredId, Relation> = HashMap::new();
+    for (&p, d) in input {
+        if d.is_empty() {
+            continue;
+        }
+        let mut r = db.rel(p).clone();
+        for t in &d.added {
+            r.remove(t);
+        }
+        for t in &d.removed {
+            r.insert(t.clone());
+        }
+        old.insert(p, r);
+    }
+    let input_lists: HashMap<PredId, (Vec<Tuple>, Vec<Tuple>)> = input
+        .iter()
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(&p, d)| (p, (sorted_list(&d.added), sorted_list(&d.removed))))
+        .collect();
+
+    let mut saved: u64 = 0;
+    let mut backward: u64 = 0;
+
+    // ---- Phase 1: count deltas for the non-recursive rules. ----
+    let count_span = trace::span("datalog", "fbf.count");
+    let mut count_f = flight::span(FlightCode::FbfCount);
+
+    // D(t): multiset of destroyed derivations, evaluated over the old
+    // view. Every emission is a genuinely destroyed derivation; one
+    // using several changed inputs is counted once per pinned position —
+    // a safe overestimate.
+    let destroyed: Vec<(PredId, Tuple, u64)> = {
+        let view = OldView { db, old: &old };
+        let jobs = input_pin_jobs(&nonrec, &input_lists, opts, true);
+        eval_pin_jobs_counted(
+            &view,
+            &jobs,
+            |head, t| view.relation(head).contains(t),
+            opts,
+            "par.fbf.destroyed",
+        )
+    };
+
+    // A: tuples with at least one freshly created non-recursive
+    // derivation (set semantics against the new state). Any derivation
+    // that exists now but not before uses a changed input somewhere, so
+    // pinning the deltas finds it.
+    let created: Vec<(PredId, Tuple)> = {
+        let dbr: &Database = db;
+        let jobs = input_pin_jobs(&nonrec, &input_lists, opts, false);
+        eval_pin_jobs(dbr, &jobs, |_, _| true, opts, "par.fbf.created")
+    };
+    let mut created_by: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
+    for (p, t) in &created {
+        created_by.entry(*p).or_default().insert(t.clone());
+    }
+
+    // Decrement where the count proves survival; queue the rest for an
+    // exact recount. Tuples in A always recount (their count may have
+    // gone up, down, or both).
+    let mut recount: Vec<(PredId, Tuple)> = Vec::new();
+    for (p, t, d) in destroyed {
+        if created_by.get(&p).is_some_and(|s| s.contains(&t)) {
+            continue; // queued below via `created`
+        }
+        let s = u64::from(db.rel(p).support(&t));
+        if s > d {
+            db.rel_mut(p).set_support(&t, sat(s - d));
+            saved += 1;
+        } else {
+            recount.push((p, t));
+        }
+    }
+    recount.extend(created);
+    recount.sort_unstable();
+    recount.dedup();
+    count_f.set_arg(saved);
+    drop(count_f);
+    count_span.end_args(vec![("saved", saved.into())]);
+
+    // ---- Phase 2: backward — exact recounts for the undecided. ----
+    let backward_span = trace::span("datalog", "fbf.backward");
+    let mut backward_f = flight::span(FlightCode::FbfBackward);
+    let mut heads_nonrec: HashMap<PredId, Vec<&CRule>> = HashMap::new();
+    for &r in &nonrec {
+        heads_nonrec.entry(r.head.pred).or_default().push(r);
+    }
+    backward += recount.len() as u64;
+    let counted: Vec<(PredId, Tuple, u64)> = {
+        let mut by_pred: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+        for (p, t) in recount {
+            by_pred.entry(p).or_default().push(t); // stays sorted per pred
+        }
+        let cand_lists: Vec<(PredId, Vec<Tuple>)> = by_pred.into_iter().collect();
+        let total: usize = cand_lists.iter().map(|(_, v)| v.len()).sum();
+        let mut jobs: Vec<(PredId, &[Tuple])> = Vec::new();
+        for (p, list) in &cand_lists {
+            for chunk in opts.chunks(list) {
+                jobs.push((*p, chunk));
+            }
+        }
+        let dbr: &Database = db;
+        collect_jobs(
+            opts,
+            total,
+            jobs.len(),
+            |i, out: &mut Vec<(PredId, Tuple, u64)>| {
+                let (p, chunk) = jobs[i];
+                let rs = heads_nonrec.get(&p);
+                for t in chunk {
+                    let c: u64 = rs.map_or(0, |rs| {
+                        rs.iter().map(|&r| rule_derivation_count(dbr, r, t)).sum()
+                    });
+                    out.push((p, t.clone(), c));
+                }
+            },
+            "par.fbf.recount",
+        )
+    };
+
+    // Apply the exact counts: present tuples hitting zero become
+    // deletion candidates; absent tuples gaining support become
+    // insertions (with their exact count attached).
+    let mut zeroed: Vec<(PredId, Tuple)> = Vec::new();
+    let mut gained: Vec<(PredId, Tuple, u64)> = Vec::new();
+    for (p, t, c) in counted {
+        let present = db.rel(p).contains(&t);
+        if c > 0 {
+            if present {
+                db.rel_mut(p).set_support(&t, sat(c));
+            } else {
+                gained.push((p, t, c));
+            }
+        } else if present {
+            db.rel_mut(p).set_support(&t, 0);
+            zeroed.push((p, t));
+        }
+    }
+    backward_f.set_arg(backward);
+    drop(backward_f);
+    backward_span.end_args(vec![("checks", backward.into())]);
+
+    // ---- Non-recursive clique: counts decide membership outright. ----
+    // No extent clone, no cascade, no rederive — the net delta is read
+    // straight off the zero transitions.
+    if rec.is_empty() {
+        let mut out: HashMap<PredId, Delta> =
+            scc_preds.iter().map(|&p| (p, Delta::default())).collect();
+        for (p, t) in zeroed {
+            db.rel_mut(p).remove(&t);
+            out.entry(p).or_default().removed.insert(t);
+        }
+        for (p, t, c) in gained {
+            if db.rel_mut(p).insert(t.clone()) {
+                db.rel_mut(p).set_support(&t, sat(c));
+                out.entry(p).or_default().added.insert(t);
+            }
+        }
+        emit_counters(saved, backward);
+        return out;
+    }
+
+    // ---- Recursive clique: DRed-style pass over the recursive rules. ----
+    // The extent clone is needed here (cascade keep checks + net diff),
+    // but it is scoped to recursive cliques only.
+    let old_scc: HashMap<PredId, Relation> = scc_preds
+        .iter()
+        .map(|&p| (p, db.rel(p).clone()))
+        .collect();
+
+    // Backward cascade: candidates are count-zeroed tuples plus heads of
+    // destroyed recursive derivations; a candidate whose count is still
+    // positive has a surviving non-recursive derivation and is saved
+    // without entering the cascade at all.
+    let mut deleted: HashMap<PredId, HashSet<Tuple>> =
+        scc_preds.iter().map(|&p| (p, HashSet::new())).collect();
+    {
+        let view = OldView { db, old: &old };
+        let jobs = input_pin_jobs(&rec, &input_lists, opts, true);
+        let mut fresh = eval_pin_jobs(
+            &view,
+            &jobs,
+            |head, t| old_scc[&head].contains(t),
+            opts,
+            "par.fbf.overdelete",
+        );
+        fresh.extend(zeroed);
+        loop {
+            let mut round: HashMap<PredId, Vec<Tuple>> = HashMap::new();
+            for (p, t) in fresh {
+                if view.db.rel(p).support(&t) > 0 {
+                    saved += 1;
+                    continue;
+                }
+                if let Some(set) = deleted.get_mut(&p) {
+                    if set.insert(t.clone()) {
+                        round.entry(p).or_default().push(t);
+                    }
+                }
+            }
+            if round.is_empty() {
+                break;
+            }
+            for list in round.values_mut() {
+                list.sort_unstable();
+            }
+            let mut jobs: Vec<PinJob<'_>> = Vec::new();
+            for &rule in &rec {
+                for (j, (atom, negated)) in rule.body.iter().enumerate() {
+                    if *negated {
+                        continue;
+                    }
+                    let Some(list) = round.get(&atom.pred) else {
+                        continue;
+                    };
+                    for chunk in opts.chunks(list) {
+                        jobs.push(PinJob {
+                            rule,
+                            pos: j,
+                            mode: PinMode::Positive,
+                            chunk,
+                        });
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            fresh = eval_pin_jobs(
+                &view,
+                &jobs,
+                |head, t| old_scc[&head].contains(t) && !deleted[&head].contains(t),
+                opts,
+                "par.fbf.overdelete",
+            );
+        }
+    }
+    for (&p, ts) in &deleted {
+        for t in ts {
+            db.rel_mut(p).remove(t);
+        }
+    }
+
+    // Forward: rederive deleted candidates through the recursive rules
+    // only (their non-recursive count is exactly zero, so non-recursive
+    // rules cannot bring them back), then propagate insertions.
+    let forward_span = trace::span("datalog", "fbf.forward");
+    let mut forward_f = flight::span(FlightCode::FbfForward);
+    let _forward_timer = ScopeCounter {
+        counter: "datalog.fbf.forward_rederive_ns",
+        t0: Instant::now(),
+    };
+    let mut seed: HashMap<PredId, HashSet<Tuple>> = HashMap::new();
+    let mut heads_rec: HashMap<PredId, Vec<&CRule>> = HashMap::new();
+    for &r in &rec {
+        heads_rec.entry(r.head.pred).or_default().push(r);
+    }
+    loop {
+        let cand_lists: Vec<(PredId, Vec<Tuple>)> = deleted
+            .iter()
+            .filter(|(p, _)| heads_rec.contains_key(p))
+            .map(|(&p, ts)| {
+                let mut v: Vec<Tuple> = ts
+                    .iter()
+                    .filter(|t| !db.rel(p).contains(t))
+                    .cloned()
+                    .collect();
+                v.sort_unstable();
+                (p, v)
+            })
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let total: usize = cand_lists.iter().map(|(_, v)| v.len()).sum();
+        if total == 0 {
+            break;
+        }
+        backward += total as u64;
+        let mut jobs: Vec<(PredId, &[Tuple])> = Vec::new();
+        for (p, list) in &cand_lists {
+            for chunk in opts.chunks(list) {
+                jobs.push((*p, chunk));
+            }
+        }
+        let dbr: &Database = db;
+        let fresh: Vec<(PredId, Tuple)> = collect_jobs(
+            opts,
+            total,
+            jobs.len(),
+            |i, out: &mut Vec<(PredId, Tuple)>| {
+                let (p, chunk) = jobs[i];
+                if let Some(rs) = heads_rec.get(&p) {
+                    for t in chunk {
+                        if rs.iter().any(|&r| rule_derives(dbr, r, t)) {
+                            out.push((p, t.clone()));
+                        }
+                    }
+                }
+            },
+            "par.fbf.rederive",
+        );
+        if fresh.is_empty() {
+            break;
+        }
+        for (p, t) in fresh {
+            if db.rel_mut(p).insert(t.clone()) {
+                seed.entry(p).or_default().insert(t);
+            }
+        }
+    }
+
+    // Insertions: count-gained tuples (exact support attached) plus
+    // derivations newly enabled through the recursive rules.
+    for (p, t, c) in gained {
+        if db.rel_mut(p).insert(t.clone()) {
+            db.rel_mut(p).set_support(&t, sat(c));
+            seed.entry(p).or_default().insert(t);
+        }
+    }
+    {
+        let dbr: &Database = db;
+        let jobs = input_pin_jobs(&rec, &input_lists, opts, false);
+        let fresh = eval_pin_jobs(
+            dbr,
+            &jobs,
+            |head, t| !dbr.rel(head).contains(t),
+            opts,
+            "par.fbf.insert",
+        );
+        for (p, t) in fresh {
+            if db.rel_mut(p).insert(t.clone()) {
+                seed.entry(p).or_default().insert(t);
+            }
+        }
+    }
+    let seed_inserts: usize = seed.values().map(|s| s.len()).sum();
+    if !seed.is_empty() {
+        // Rows inserted semi-naively are purely recursive derivations
+        // (anything with non-recursive support was already in `gained`),
+        // so their fresh zero counts are exact.
+        seminaive_scc_opts(db, rules, scc_preds, seed, false, opts);
+    }
+    forward_f.set_arg(seed_inserts as u64);
+    drop(forward_f);
+    forward_span.end_args(vec![("seed_inserts", (seed_inserts as u64).into())]);
+
+    emit_counters(saved, backward);
+    net_deltas(db, scc_preds, &old_scc)
+}
+
+fn emit_counters(saved: u64, backward: u64) {
+    let reg = incr_obs::registry();
+    if saved > 0 {
+        reg.counter("datalog.fbf.count_saved_deletes").add(saved);
+    }
+    if backward > 0 {
+        reg.counter("datalog.fbf.backward_checks").add(backward);
+    }
+}
+
+/// (Re)establish exact derivation counts for one clique — used after
+/// initial materialization, after a rollback (counts are a pure function
+/// of extents and rules, so recovery is a recount, not a replay), and
+/// when switching an engine's maintenance strategy. Aggregate cliques
+/// carry no counts and are skipped.
+pub fn init_counts_scc(
+    db: &mut Database,
+    rules: &[CRule],
+    scc_preds: &[PredId],
+    opts: &EvalOptions,
+) {
+    if rules.iter().any(|r| r.agg.is_some()) {
+        return;
+    }
+    ensure_indices(db, rules, true);
+    let scc_set: HashSet<PredId> = scc_preds.iter().copied().collect();
+    let mut heads_nonrec: HashMap<PredId, Vec<&CRule>> = HashMap::new();
+    for r in rules {
+        if !is_recursive(r, &scc_set) {
+            heads_nonrec.entry(r.head.pred).or_default().push(r);
+        }
+    }
+    for &p in scc_preds {
+        let list = db.rel(p).sorted();
+        let total = list.len();
+        let jobs: Vec<&[Tuple]> = opts.chunks(&list).collect();
+        let dbr: &Database = db;
+        let counted: Vec<(Tuple, u64)> = collect_jobs(
+            opts,
+            total,
+            jobs.len(),
+            |i, out: &mut Vec<(Tuple, u64)>| {
+                let rs = heads_nonrec.get(&p);
+                for t in jobs[i] {
+                    let c: u64 = rs.map_or(0, |rs| {
+                        rs.iter().map(|&r| rule_derivation_count(dbr, r, t)).sum()
+                    });
+                    out.push((t.clone(), c));
+                }
+            },
+            "par.fbf.init",
+        );
+        for (t, c) in counted {
+            db.rel_mut(p).set_support(&t, sat(c));
+        }
+    }
+}
+
+/// Check the count invariant for one clique: every live tuple's stored
+/// count is positive iff its exact non-recursive derivation count is,
+/// and never exceeds it. (Stored counts may legitimately *undercount*
+/// between recounts — decrements use an overestimate of the destroyed
+/// derivations — so exact equality is not required.) Aggregate cliques
+/// are vacuously consistent.
+pub fn counts_consistent(db: &Database, rules: &[CRule], scc_preds: &[PredId]) -> bool {
+    if rules.iter().any(|r| r.agg.is_some()) {
+        return true;
+    }
+    let scc_set: HashSet<PredId> = scc_preds.iter().copied().collect();
+    let mut heads_nonrec: HashMap<PredId, Vec<&CRule>> = HashMap::new();
+    for r in rules {
+        if !is_recursive(r, &scc_set) {
+            heads_nonrec.entry(r.head.pred).or_default().push(r);
+        }
+    }
+    for &p in scc_preds {
+        let rs = heads_nonrec.get(&p);
+        for t in db.rel(p).iter() {
+            let truth: u64 = rs.map_or(0, |rs| {
+                rs.iter().map(|&r| rule_derivation_count(db, r, t)).sum()
+            });
+            let stored = u64::from(db.rel(p).support(t));
+            let ok = if truth == 0 {
+                stored == 0
+            } else {
+                stored >= 1 && stored <= truth
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{compile_program, load_facts, naive_fixpoint};
+    use crate::parser::parse_program;
+
+    /// Build a database + compiled rules, fully materialized, with
+    /// counts initialized per head predicate's clique.
+    fn setup(src: &str) -> (Database, Vec<CRule>) {
+        let prog = parse_program(src).unwrap();
+        let mut db = Database::new();
+        let rules = compile_program(&prog, &mut db);
+        load_facts(&prog, &mut db);
+        naive_fixpoint(&mut db, &rules);
+        (db, rules)
+    }
+
+    fn recompute(src: &str) -> Database {
+        let (db, _) = setup(src);
+        db
+    }
+
+    const TC: &str = "path(X, Y) :- edge(X, Y).\n\
+                      path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+
+    fn path_rules(db: &Database, rules: &[CRule]) -> (Vec<CRule>, PredId) {
+        let path = db.pred_id("path").unwrap();
+        (
+            rules.iter().filter(|r| r.head.pred == path).cloned().collect(),
+            path,
+        )
+    }
+
+    fn tc_update_opts(
+        db: &mut Database,
+        rules: &[CRule],
+        add: &[(&str, &str)],
+        del: &[(&str, &str)],
+        opts: &EvalOptions,
+    ) -> HashMap<PredId, Delta> {
+        let edge = db.pred_id("edge").unwrap();
+        let (prules, path) = path_rules(db, rules);
+        let mut d = Delta::default();
+        for (a, b) in add {
+            let t = vec![db.sym(a), db.sym(b)];
+            if db.rel_mut(edge).insert(t.clone()) {
+                d.added.insert(t);
+            }
+        }
+        for (a, b) in del {
+            let t = vec![db.sym(a), db.sym(b)];
+            if db.rel_mut(edge).remove(&t) {
+                d.removed.insert(t);
+            }
+        }
+        let input = HashMap::from([(edge, d)]);
+        update_scc_fbf(db, &prules, &[path], &input, opts)
+    }
+
+    fn tc_update(
+        db: &mut Database,
+        rules: &[CRule],
+        add: &[(&str, &str)],
+        del: &[(&str, &str)],
+    ) -> HashMap<PredId, Delta> {
+        tc_update_opts(db, rules, add, del, &EvalOptions::sequential())
+    }
+
+    fn setup_tc(facts: &str) -> (Database, Vec<CRule>) {
+        let (mut db, rules) = setup(&format!("{TC} {facts}"));
+        let (prules, path) = path_rules(&db, &rules);
+        init_counts_scc(&mut db, &prules, &[path], &EvalOptions::sequential());
+        assert!(counts_consistent(&db, &prules, &[path]));
+        (db, rules)
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        assert_eq!(MaintenanceStrategy::parse("dred"), Some(MaintenanceStrategy::DRed));
+        assert_eq!(MaintenanceStrategy::parse("FBF"), Some(MaintenanceStrategy::Fbf));
+        assert_eq!(MaintenanceStrategy::parse("counting"), Some(MaintenanceStrategy::Fbf));
+        assert_eq!(MaintenanceStrategy::parse("nope"), None);
+        assert_eq!(MaintenanceStrategy::Fbf.to_string(), "fbf");
+        assert_eq!(MaintenanceStrategy::default(), MaintenanceStrategy::DRed);
+    }
+
+    #[test]
+    fn insertion_matches_recompute() {
+        let base = format!("{TC} edge(a, b). edge(b, c).");
+        let (mut db, rules) = setup_tc("edge(a, b). edge(b, c).");
+        tc_update(&mut db, &rules, &[("c", "d")], &[]);
+        let truth = recompute(&format!("{base} edge(c, d)."));
+        let p1 = db.pred_id("path").unwrap();
+        let p2 = truth.pred_id("path").unwrap();
+        assert_eq!(db.rel(p1).sorted(), truth.rel(p2).sorted());
+        let (prules, path) = path_rules(&db, &rules);
+        assert!(counts_consistent(&db, &prules, &[path]));
+    }
+
+    #[test]
+    fn deletion_with_alternative_derivation_survives() {
+        let (mut db, rules) = setup_tc("edge(a, b). edge(b, c). edge(a, c).");
+        let out = tc_update(&mut db, &rules, &[], &[("b", "c")]);
+        assert!(db.has_fact("path", &["a", "c"]), "alternative derivation survives");
+        assert!(!db.has_fact("path", &["b", "c"]));
+        let path = db.pred_id("path").unwrap();
+        assert_eq!(out[&path].removed.len(), 1, "only path(b, c) is a net removal");
+        let (prules, path) = path_rules(&db, &rules);
+        assert!(counts_consistent(&db, &prules, &[path]));
+    }
+
+    #[test]
+    fn deletion_cascades_through_recursion() {
+        let (mut db, rules) = setup_tc("edge(a, b). edge(b, c). edge(c, d).");
+        tc_update(&mut db, &rules, &[], &[("a", "b")]);
+        let truth = recompute(&format!("{TC} edge(b, c). edge(c, d)."));
+        let p = db.pred_id("path").unwrap();
+        let q = truth.pred_id("path").unwrap();
+        assert_eq!(db.rel(p).sorted().len(), truth.rel(q).sorted().len());
+        assert!(!db.has_fact("path", &["a", "d"]));
+        assert!(db.has_fact("path", &["b", "d"]));
+    }
+
+    #[test]
+    fn cyclic_deletion_rederives_correctly() {
+        let (mut db, rules) = setup_tc("edge(a, b). edge(b, c). edge(c, a). edge(a, c).");
+        tc_update(&mut db, &rules, &[], &[("b", "c")]);
+        let truth = recompute(&format!("{TC} edge(a, b). edge(c, a). edge(a, c)."));
+        let p = db.pred_id("path").unwrap();
+        let q = truth.pred_id("path").unwrap();
+        assert_eq!(db.rel(p).sorted(), truth.rel(q).sorted());
+        let (prules, path) = path_rules(&db, &rules);
+        assert!(counts_consistent(&db, &prules, &[path]));
+    }
+
+    #[test]
+    fn mixed_add_and_delete_matches_recompute() {
+        let (mut db, rules) = setup_tc(
+            "edge(a, b). edge(b, c). edge(c, a). edge(a, c). edge(c, d). edge(d, e).",
+        );
+        tc_update(&mut db, &rules, &[("e", "a"), ("b", "f")], &[("b", "c"), ("c", "d")]);
+        let truth = recompute(&format!(
+            "{TC} edge(a, b). edge(c, a). edge(a, c). edge(d, e). edge(e, a). edge(b, f)."
+        ));
+        let p = db.pred_id("path").unwrap();
+        let q = truth.pred_id("path").unwrap();
+        assert_eq!(db.rel(p).sorted(), truth.rel(q).sorted());
+        let (prules, path) = path_rules(&db, &rules);
+        assert!(counts_consistent(&db, &prules, &[path]));
+    }
+
+    #[test]
+    fn parallel_update_matches_sequential() {
+        let facts = "edge(a, b). edge(b, c). edge(c, a). edge(a, c). edge(c, d). edge(d, e).";
+        let run = |opts: &EvalOptions| {
+            let (mut db, rules) = setup(&format!("{TC} {facts}"));
+            let (prules, path) = path_rules(&db, &rules);
+            init_counts_scc(&mut db, &prules, &[path], opts);
+            let out = tc_update_opts(
+                &mut db,
+                &rules,
+                &[("e", "a"), ("b", "f")],
+                &[("b", "c"), ("c", "d")],
+                opts,
+            );
+            let d = &out[&path];
+            (
+                db.rel(path).sorted(),
+                sorted_list(&d.added),
+                sorted_list(&d.removed),
+            )
+        };
+        let seq = run(&EvalOptions::sequential());
+        let mut par_opts = EvalOptions::with_threads(4);
+        par_opts.min_parallel_tuples = 0;
+        let par = run(&par_opts);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn nonrecursive_clique_decrements_without_propagation() {
+        // Two independent derivations of hot(x); deleting one input must
+        // be absorbed by the count (no deletion, saved counter bumped).
+        let src = "hot(X) :- alarm(X).\nhot(X) :- sensor(X).\n\
+                   alarm(x). sensor(x). alarm(y).";
+        let (mut db, rules) = setup(src);
+        let hot = db.pred_id("hot").unwrap();
+        let hrules: Vec<CRule> = rules.iter().filter(|r| r.head.pred == hot).cloned().collect();
+        let opts = EvalOptions::sequential();
+        init_counts_scc(&mut db, &hrules, &[hot], &opts);
+        let tx = vec![db.sym("x")];
+        assert_eq!(db.rel(hot).support(&tx), 2);
+
+        let saved_before = incr_obs::registry()
+            .counter("datalog.fbf.count_saved_deletes")
+            .get();
+        let alarm = db.pred_id("alarm").unwrap();
+        db.rel_mut(alarm).remove(&tx);
+        let mut d = Delta::default();
+        d.removed.insert(tx.clone());
+        let out = update_scc_fbf(&mut db, &hrules, &[hot], &HashMap::from([(alarm, d)]), &opts);
+        assert!(db.has_fact("hot", &["x"]), "second derivation keeps hot(x)");
+        assert!(out[&hot].is_empty(), "no net change");
+        assert_eq!(db.rel(hot).support(&tx), 1);
+        let saved_after = incr_obs::registry()
+            .counter("datalog.fbf.count_saved_deletes")
+            .get();
+        assert!(saved_after > saved_before, "decrement path was taken");
+        assert!(counts_consistent(&db, &hrules, &[hot]));
+    }
+
+    #[test]
+    fn nonrecursive_clique_deletes_on_zero() {
+        let src = "hot(X) :- alarm(X).\nhot(X) :- sensor(X).\n\
+                   alarm(x). alarm(y).";
+        let (mut db, rules) = setup(src);
+        let hot = db.pred_id("hot").unwrap();
+        let hrules: Vec<CRule> = rules.iter().filter(|r| r.head.pred == hot).cloned().collect();
+        let opts = EvalOptions::sequential();
+        init_counts_scc(&mut db, &hrules, &[hot], &opts);
+        let alarm = db.pred_id("alarm").unwrap();
+        let tx = vec![db.sym("x")];
+        db.rel_mut(alarm).remove(&tx);
+        let mut d = Delta::default();
+        d.removed.insert(tx);
+        let out = update_scc_fbf(&mut db, &hrules, &[hot], &HashMap::from([(alarm, d)]), &opts);
+        assert!(!db.has_fact("hot", &["x"]));
+        assert!(db.has_fact("hot", &["y"]));
+        assert_eq!(out[&hot].removed.len(), 1);
+        assert!(counts_consistent(&db, &hrules, &[hot]));
+    }
+
+    #[test]
+    fn negation_edits_maintain_counts() {
+        let src = "allowed(X) :- user(X), !banned(X).\n\
+                   user(u1). user(u2). banned(u2).";
+        let (mut db, rules) = setup(src);
+        let allowed = db.pred_id("allowed").unwrap();
+        let arules: Vec<CRule> =
+            rules.iter().filter(|r| r.head.pred == allowed).cloned().collect();
+        let opts = EvalOptions::sequential();
+        init_counts_scc(&mut db, &arules, &[allowed], &opts);
+
+        // Ban u1: insertion through negation deletes allowed(u1).
+        let banned = db.pred_id("banned").unwrap();
+        let t1 = vec![db.sym("u1")];
+        db.rel_mut(banned).insert(t1.clone());
+        let mut d = Delta::default();
+        d.added.insert(t1);
+        let out =
+            update_scc_fbf(&mut db, &arules, &[allowed], &HashMap::from([(banned, d)]), &opts);
+        assert!(!db.has_fact("allowed", &["u1"]));
+        assert_eq!(out[&allowed].removed.len(), 1);
+
+        // Unban u2: deletion through negation derives allowed(u2).
+        let t2 = vec![db.sym("u2")];
+        db.rel_mut(banned).remove(&t2);
+        let mut d = Delta::default();
+        d.removed.insert(t2);
+        let out =
+            update_scc_fbf(&mut db, &arules, &[allowed], &HashMap::from([(banned, d)]), &opts);
+        assert!(db.has_fact("allowed", &["u2"]));
+        assert_eq!(out[&allowed].added.len(), 1);
+        assert!(counts_consistent(&db, &arules, &[allowed]));
+    }
+
+    #[test]
+    fn reinsert_after_delete_reestablishes_support() {
+        // Deleting the last derivation tombstones the row; re-adding the
+        // input allocates a fresh row whose count must be re-established.
+        let src = "hot(X) :- alarm(X).\nhot(X) :- sensor(X).\nalarm(x).";
+        let (mut db, rules) = setup(src);
+        let hot = db.pred_id("hot").unwrap();
+        let hrules: Vec<CRule> = rules.iter().filter(|r| r.head.pred == hot).cloned().collect();
+        let opts = EvalOptions::sequential();
+        init_counts_scc(&mut db, &hrules, &[hot], &opts);
+        let alarm = db.pred_id("alarm").unwrap();
+        let tx = vec![db.sym("x")];
+        db.rel_mut(alarm).remove(&tx);
+        let mut d = Delta::default();
+        d.removed.insert(tx.clone());
+        update_scc_fbf(&mut db, &hrules, &[hot], &HashMap::from([(alarm, d)]), &opts);
+        assert!(!db.has_fact("hot", &["x"]));
+        db.rel_mut(alarm).insert(tx.clone());
+        let mut d = Delta::default();
+        d.added.insert(tx.clone());
+        update_scc_fbf(&mut db, &hrules, &[hot], &HashMap::from([(alarm, d)]), &opts);
+        assert!(db.has_fact("hot", &["x"]));
+        assert_eq!(db.rel(hot).support(&tx), 1);
+        assert!(counts_consistent(&db, &hrules, &[hot]));
+    }
+
+    #[test]
+    fn counts_survive_a_long_update_sequence() {
+        let (mut db, rules) = setup_tc("edge(a, b). edge(b, c). edge(c, d). edge(d, a).");
+        type Pairs<'a> = &'a [(&'a str, &'a str)];
+        let edits: &[(Pairs, Pairs)] = &[
+            (&[("b", "e")], &[("a", "b")]),
+            (&[("a", "b")], &[("c", "d")]),
+            (&[("c", "d"), ("e", "a")], &[("b", "e")]),
+            (&[], &[("d", "a"), ("a", "b")]),
+            (&[("a", "d")], &[]),
+        ];
+        for (add, del) in edits {
+            tc_update(&mut db, &rules, add, del);
+            let (prules, path) = path_rules(&db, &rules);
+            assert!(counts_consistent(&db, &prules, &[path]));
+        }
+        // Ground truth for the final edge set {bc, cd, ea, ad} — checked
+        // by membership (the recomputed db would intern symbols in a
+        // different order, so raw tuple comparison is meaningless).
+        let p = db.pred_id("path").unwrap();
+        let expect = [("a", "d"), ("b", "c"), ("b", "d"), ("c", "d"), ("e", "a"), ("e", "d")];
+        assert_eq!(db.rel(p).len(), expect.len());
+        for (x, y) in expect {
+            assert!(db.has_fact("path", &[x, y]), "missing path({x}, {y})");
+        }
+    }
+}

@@ -36,9 +36,9 @@ use std::time::Instant;
 
 /// Adds elapsed nanoseconds to a named always-on counter when dropped —
 /// phase timing that survives early returns and needs no tracing.
-struct ScopeCounter {
-    counter: &'static str,
-    t0: Instant,
+pub(crate) struct ScopeCounter {
+    pub(crate) counter: &'static str,
+    pub(crate) t0: Instant,
 }
 
 impl Drop for ScopeCounter {
@@ -67,10 +67,11 @@ impl Delta {
 }
 
 /// Read view overlaying the pre-update extents of the input predicates on
-/// top of the live database (used by overdeletion).
-struct OldView<'a> {
-    db: &'a Database,
-    old: &'a HashMap<PredId, Relation>,
+/// top of the live database (used by overdeletion, and by the FBF count
+/// phase in [`crate::fbf`]).
+pub(crate) struct OldView<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) old: &'a HashMap<PredId, Relation>,
 }
 
 impl Rels for OldView<'_> {
@@ -80,7 +81,7 @@ impl Rels for OldView<'_> {
 }
 
 /// Exact old-vs-new extent diff for the clique predicates.
-fn net_deltas(
+pub(crate) fn net_deltas(
     db: &Database,
     scc_preds: &[PredId],
     old_scc: &HashMap<PredId, Relation>,
@@ -107,7 +108,7 @@ fn net_deltas(
 
 /// Sorted list of a delta set — deterministic chunk boundaries for the
 /// parallel fan-out.
-fn sorted_list(set: &HashSet<Tuple>) -> Vec<Tuple> {
+pub(crate) fn sorted_list(set: &HashSet<Tuple>) -> Vec<Tuple> {
     let mut v: Vec<Tuple> = set.iter().cloned().collect();
     v.sort_unstable();
     v

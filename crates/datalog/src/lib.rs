@@ -16,6 +16,9 @@
 //!   aggregate evaluation (`count`/`sum`/`min`/`max` heads).
 //! * [`incr`] — incremental maintenance: delta-driven insertion and
 //!   delete-rederive (DRed) deletion.
+//! * [`fbf`] — the counting-based backward/forward maintenance backend:
+//!   per-tuple derivation counts that absorb most deletions without
+//!   propagation, with a DRed-style fallback inside recursive SCCs.
 //! * [`mvcc`] — concurrent snapshot readers: a lock-free pin registry
 //!   over the epoch-versioned arena, so queries serve a consistent
 //!   published cut while maintenance cascades mutate the head.
@@ -28,6 +31,7 @@
 pub mod ast;
 pub mod engine;
 pub mod eval;
+pub mod fbf;
 pub mod incr;
 pub mod mvcc;
 pub mod par;
@@ -46,6 +50,7 @@ mod proptests;
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use engine::{FactEdit, IncrementalEngine, TypedEdit, UpdateReport};
 pub use eval::{Access, IndexMode};
+pub use fbf::MaintenanceStrategy;
 pub use mvcc::{PinRegistry, ReaderHandle, Snapshot};
 pub use par::EvalOptions;
 pub use parser::parse_program;

@@ -19,6 +19,7 @@
 //! sequential evaluator exactly.
 
 use crate::eval::{eval_rule, CRule, IndexMode, Pin, PinMode, Rels};
+use crate::fbf::MaintenanceStrategy;
 use crate::rel::PredId;
 use crate::value::Tuple;
 use incr_obs::trace;
@@ -39,6 +40,10 @@ pub struct EvalOptions {
     pub min_parallel_tuples: usize,
     /// Index selection policy for rules compiled by the engine.
     pub index_mode: IndexMode,
+    /// Which incremental maintenance backend non-aggregate cliques run
+    /// under: classic delete/rederive (DRed) or counting-based
+    /// backward/forward (FBF). See [`crate::fbf`].
+    pub maintenance: MaintenanceStrategy,
     /// Lazily-spawned shared pool (never created in sequential mode).
     pool: Arc<OnceLock<WorkerPool>>,
 }
@@ -56,6 +61,7 @@ impl std::fmt::Debug for EvalOptions {
             .field("threads", &self.threads)
             .field("min_parallel_tuples", &self.min_parallel_tuples)
             .field("index_mode", &self.index_mode)
+            .field("maintenance", &self.maintenance)
             .finish()
     }
 }
@@ -66,6 +72,7 @@ impl EvalOptions {
             threads,
             min_parallel_tuples: 256,
             index_mode: IndexMode::Auto,
+            maintenance: MaintenanceStrategy::DRed,
             pool: Arc::new(OnceLock::new()),
         }
     }
@@ -73,6 +80,12 @@ impl EvalOptions {
     /// Today's single-threaded behavior, exactly.
     pub fn sequential() -> Self {
         EvalOptions::with_threads(1)
+    }
+
+    /// Builder-style maintenance-backend selection.
+    pub fn with_maintenance(mut self, maintenance: MaintenanceStrategy) -> Self {
+        self.maintenance = maintenance;
+        self
     }
 
     pub fn parallel(&self) -> bool {
@@ -151,6 +164,62 @@ where
     )
 }
 
+/// [`eval_pin_jobs`] with *multiset* semantics: every derivation is kept
+/// (no dedup), and the merged result is run-length encoded into sorted
+/// `(head, tuple, multiplicity)` triples. Counting-based maintenance
+/// needs per-derivation multiplicities — a tuple derived three ways that
+/// loses one input still has two derivations, which set-semantics
+/// collection would erase. Deterministic for the same reason
+/// [`collect_jobs`] is: pinned chunks partition the delta list, so each
+/// derivation is emitted by exactly one job, and the sorted merge is
+/// independent of worker interleaving.
+pub(crate) fn eval_pin_jobs_counted<R, F>(
+    db: &R,
+    jobs: &[PinJob<'_>],
+    keep: F,
+    opts: &EvalOptions,
+    span_name: &'static str,
+) -> Vec<(PredId, Tuple, u64)>
+where
+    R: Rels + Sync,
+    F: Fn(PredId, &Tuple) -> bool + Sync,
+{
+    let total: usize = jobs.iter().map(|j| j.chunk.len()).sum();
+    let flat = collect_jobs_with(
+        opts,
+        total,
+        jobs.len(),
+        |i, out: &mut Vec<(PredId, Tuple)>| {
+            let job = &jobs[i];
+            let head = job.rule.head.pred;
+            eval_rule(
+                db,
+                job.rule,
+                Some(Pin {
+                    index: job.pos,
+                    mode: job.mode,
+                    delta: job.chunk,
+                }),
+                &mut |t| {
+                    if keep(head, &t) {
+                        out.push((head, t));
+                    }
+                },
+            );
+        },
+        span_name,
+        false,
+    );
+    let mut counted: Vec<(PredId, Tuple, u64)> = Vec::new();
+    for (p, t) in flat {
+        match counted.last_mut() {
+            Some((lp, lt, n)) if *lp == p && *lt == t => *n += 1,
+            _ => counted.push((p, t, 1)),
+        }
+    }
+    counted
+}
+
 /// Run `njobs` jobs, each appending to its own buffer, and merge the
 /// buffers into one sorted, deduplicated list. Parallel when the options
 /// and workload justify it; otherwise on the calling thread, same code
@@ -161,6 +230,23 @@ pub(crate) fn collect_jobs<T, F>(
     njobs: usize,
     run_one: F,
     span_name: &'static str,
+) -> Vec<T>
+where
+    T: Send + Ord,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    collect_jobs_with(opts, total_tuples, njobs, run_one, span_name, true)
+}
+
+/// The shared merge: sorted always (determinism); deduplicated only
+/// under set semantics (`dedup`), kept verbatim for multiset callers.
+fn collect_jobs_with<T, F>(
+    opts: &EvalOptions,
+    total_tuples: usize,
+    njobs: usize,
+    run_one: F,
+    span_name: &'static str,
+    dedup: bool,
 ) -> Vec<T>
 where
     T: Send + Ord,
@@ -194,7 +280,9 @@ where
     // Deterministic merge: output is independent of chunking and worker
     // interleaving (jobs may derive the same tuple from different chunks).
     flat.sort_unstable();
-    flat.dedup();
+    if dedup {
+        flat.dedup();
+    }
     flat
 }
 

@@ -10,6 +10,7 @@
 //! — and therefore raw tuple comparison — agrees between the two runs.
 
 use crate::engine::{FactEdit, IncrementalEngine};
+use crate::fbf::MaintenanceStrategy;
 use crate::mvcc::{ReaderHandle, Snapshot};
 use crate::par::EvalOptions;
 use crate::shard::ShardedEngine;
@@ -353,6 +354,171 @@ fn assert_sharded_equivalent(
     Ok(())
 }
 
+fn fbf_opts() -> EvalOptions {
+    EvalOptions::sequential().with_maintenance(MaintenanceStrategy::Fbf)
+}
+
+/// DRed ≡ FBF: the same program and edit stream through engines that
+/// differ only in maintenance strategy must produce identical rendered
+/// extents after every committed batch — under every scheduler, and
+/// through the 2-shard exchange (count deltas ride the same batches).
+fn assert_strategy_equivalent(
+    rules: &str,
+    preds: &[(&str, usize)],
+    edges: &[(usize, usize)],
+    edits: &[(bool, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let src = program_src(rules, edges);
+    let batches = edit_batches(edits);
+
+    // DRed reference: one image per committed batch (plus initial).
+    let mut reference = IncrementalEngine::new(&src).expect("valid program");
+    let mut ref_images = vec![unsharded_image(&reference, preds)];
+    for fe in &batches {
+        let mut s = LevelBased::new(reference.dag().clone());
+        reference.update(&mut s, fe).expect("valid edit");
+        ref_images.push(unsharded_image(&reference, preds));
+    }
+
+    for kind in 0..4 {
+        let mut e = IncrementalEngine::with_options(&src, fbf_opts()).expect("valid program");
+        prop_assert_eq!(
+            &unsharded_image(&e, preds),
+            &ref_images[0],
+            "FBF initial materialization differs (scheduler {})",
+            kind
+        );
+        for (step, fe) in batches.iter().enumerate() {
+            let mut s = make_scheduler(&e, kind);
+            e.update(s.as_mut(), fe).expect("valid edit");
+            prop_assert_eq!(
+                &unsharded_image(&e, preds),
+                &ref_images[step + 1],
+                "FBF diverged from DRed at step {} (scheduler {})",
+                step,
+                kind
+            );
+        }
+    }
+
+    // Sharded FBF: count deltas cross the exchange and per-shard counts
+    // must stay consistent batch after batch.
+    let mut e = ShardedEngine::with_options(&src, 2, fbf_opts(), make_sharded_scheduler(0))
+        .expect("valid program");
+    prop_assert_eq!(
+        &sharded_image(&e, preds),
+        &ref_images[0],
+        "sharded FBF initial materialization differs"
+    );
+    for (step, fe) in batches.iter().enumerate() {
+        e.update(fe).expect("valid edit");
+        prop_assert_eq!(
+            &sharded_image(&e, preds),
+            &ref_images[step + 1],
+            "sharded FBF diverged from DRed at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
+/// Pops `quota` tasks per update, then refuses — wedges the cascade so
+/// the engine must roll back (and, under FBF, recount support).
+struct QuotaStall {
+    inner: LevelBased,
+    quota: usize,
+    popped: usize,
+}
+
+impl Scheduler for QuotaStall {
+    fn name(&self) -> &str {
+        "QuotaStall"
+    }
+    fn start(&mut self, initial: &[incr_dag::NodeId]) {
+        self.popped = 0;
+        self.inner.start(initial);
+    }
+    fn on_completed(&mut self, v: incr_dag::NodeId, fired: &[incr_dag::NodeId]) {
+        self.inner.on_completed(v, fired);
+    }
+    fn pop_ready(&mut self) -> Option<incr_dag::NodeId> {
+        if self.popped >= self.quota {
+            return None;
+        }
+        let t = self.inner.pop_ready();
+        if t.is_some() {
+            self.popped += 1;
+        }
+        t
+    }
+    fn is_quiescent(&self) -> bool {
+        self.inner.is_quiescent()
+    }
+    fn cost(&self) -> CostMeter {
+        self.inner.cost()
+    }
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+    fn precompute_bytes(&self) -> usize {
+        self.inner.precompute_bytes()
+    }
+    fn on_external_dispatch(&mut self, v: incr_dag::NodeId) {
+        self.inner.on_external_dispatch(v);
+    }
+}
+
+/// Restart-after-fault idempotence of FBF count state: every batch is
+/// first attempted under a scheduler that wedges after one task. A
+/// stalled attempt must leave the image untouched (rollback recounts
+/// support), and the retry plus all *subsequent* deletion-heavy batches
+/// must keep matching a DRed reference — corrupt counts would make a
+/// later deletion over- or under-delete and diverge.
+fn assert_fault_recovery_idempotent(
+    rules: &str,
+    preds: &[(&str, usize)],
+    edges: &[(usize, usize)],
+    edits: &[(bool, usize, usize)],
+) -> Result<(), TestCaseError> {
+    let src = program_src(rules, edges);
+    let batches = edit_batches(edits);
+
+    let mut reference = IncrementalEngine::new(&src).expect("valid program");
+    let mut e = IncrementalEngine::with_options(&src, fbf_opts()).expect("valid program");
+    for (step, fe) in batches.iter().enumerate() {
+        let pre = unsharded_image(&e, preds);
+        let mut broken = QuotaStall {
+            inner: LevelBased::new(e.dag().clone()),
+            quota: 1,
+            popped: 0,
+        };
+        match e.update(&mut broken, fe) {
+            // Small cascades can finish within the quota — that's a
+            // legitimate success, not a fault.
+            Ok(_) => {}
+            Err(_) => {
+                prop_assert_eq!(
+                    &unsharded_image(&e, preds),
+                    &pre,
+                    "stalled update left a trace at step {}",
+                    step
+                );
+                let mut good = LevelBased::new(e.dag().clone());
+                e.update(&mut good, fe).expect("retry after stall");
+            }
+        }
+        let mut s = LevelBased::new(reference.dag().clone());
+        reference.update(&mut s, fe).expect("valid edit");
+        prop_assert_eq!(
+            &unsharded_image(&e, preds),
+            &unsharded_image(&reference, preds),
+            "post-recovery FBF state diverged from DRed at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
 fn edges_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
     proptest::collection::vec((0usize..6, 0usize..6), 0..14)
 }
@@ -492,5 +658,77 @@ proptest! {
         edits in deletion_heavy_strategy(),
     ) {
         assert_sharded_equivalent(RTC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fbf_matches_dred_on_transitive_closure(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_strategy_equivalent(TC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
+    }
+
+    #[test]
+    fn fbf_matches_dred_on_right_recursion(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_strategy_equivalent(RTC_RULES, &[("edge", 2), ("path", 2)], &edges, &edits)?;
+    }
+
+    #[test]
+    fn fbf_matches_dred_with_negation(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_strategy_equivalent(
+            NEG_RULES,
+            &[("edge", 2), ("node", 1), ("reach", 1), ("unreach", 1)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn fbf_matches_dred_on_aggregates(
+        edges in edges_strategy(),
+        edits in edits_strategy(),
+    ) {
+        assert_strategy_equivalent(
+            AGG_RULES,
+            &[("edge", 2), ("deg", 2), ("indeg", 2)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn fbf_matches_dred_under_deletion_heavy_stream(
+        edges in edges_strategy(),
+        edits in deletion_heavy_strategy(),
+    ) {
+        assert_strategy_equivalent(
+            TRI_RULES,
+            &[("edge", 2), ("tri", 2), ("path", 2)],
+            &edges,
+            &edits,
+        )?;
+    }
+
+    #[test]
+    fn fbf_counts_recover_from_faults(
+        edges in edges_strategy(),
+        edits in deletion_heavy_strategy(),
+    ) {
+        assert_fault_recovery_idempotent(
+            TC_RULES,
+            &[("edge", 2), ("path", 2)],
+            &edges,
+            &edits,
+        )?;
     }
 }

@@ -88,6 +88,14 @@ struct Slot {
     tuple: Option<Tuple>,
     born: u64,
     died: u64,
+    /// Derivation-count column for counting-based maintenance (FBF):
+    /// how many non-recursive derivations support this tuple. Head-state
+    /// metadata — it rides the row through `clone()` and across MVCC
+    /// epochs, but snapshot readers never consult it (membership at a
+    /// pinned epoch is decided by `born`/`died` alone). Fresh rows start
+    /// at 0; a re-insert after a tombstone allocates a new row, so its
+    /// support must be re-established by the maintenance layer.
+    support: u32,
 }
 
 impl Slot {
@@ -281,6 +289,7 @@ impl Relation {
             tuple: Some(t),
             born: self.write_epoch,
             died: NEVER,
+            support: 0,
         };
         let row = match self.free.pop() {
             Some(r) => {
@@ -317,6 +326,26 @@ impl Relation {
         self.graveyard.push_back(row);
         self.live -= 1;
         true
+    }
+
+    /// The derivation-count column of the live row holding `t` (0 when
+    /// the tuple is absent from the head extent). Only meaningful while
+    /// counting-based (FBF) maintenance keeps it up to date.
+    pub fn support(&self, t: &[Value]) -> u32 {
+        self.find_row(t)
+            .map_or(0, |r| self.rows[r as usize].support)
+    }
+
+    /// Set the derivation count on the live row holding `t`; false (and
+    /// no effect) when the tuple is absent.
+    pub fn set_support(&mut self, t: &[Value], support: u32) -> bool {
+        match self.find_row(t) {
+            Some(r) => {
+                self.rows[r as usize].support = support;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Recycle every tombstone no snapshot at or after `watermark + 1`

@@ -93,10 +93,16 @@ pub enum FlightCode {
     ShardRound = 18,
     /// A sharded batch aborted and rolled back on every shard.
     ShardAbort = 19,
+    /// FBF count phase: derivation-count deltas applied to a clique.
+    FbfCount = 20,
+    /// FBF backward phase: alternative-derivation searches.
+    FbfBackward = 21,
+    /// FBF forward phase: rederivation + insertion inside a recursive SCC.
+    FbfForward = 22,
 }
 
 /// All codes, indexable by discriminant — the decode table for slots.
-const CODES: [FlightCode; 20] = [
+const CODES: [FlightCode; 23] = [
     FlightCode::UpdateRun,
     FlightCode::PopBatch,
     FlightCode::Commit,
@@ -117,6 +123,9 @@ const CODES: [FlightCode; 20] = [
     FlightCode::JournalReplay,
     FlightCode::ShardRound,
     FlightCode::ShardAbort,
+    FlightCode::FbfCount,
+    FlightCode::FbfBackward,
+    FlightCode::FbfForward,
 ];
 
 impl FlightCode {
@@ -147,6 +156,9 @@ impl FlightCode {
             FlightCode::JournalReplay => "exec.journal_replay",
             FlightCode::ShardRound => "shard.round",
             FlightCode::ShardAbort => "shard.abort",
+            FlightCode::FbfCount => "fbf.count",
+            FlightCode::FbfBackward => "fbf.backward",
+            FlightCode::FbfForward => "fbf.forward",
         }
     }
 
@@ -160,7 +172,10 @@ impl FlightCode {
             FlightCode::DredOverdelete
             | FlightCode::DredRederive
             | FlightCode::DredInsert
-            | FlightCode::Reevaluate => "datalog",
+            | FlightCode::Reevaluate
+            | FlightCode::FbfCount
+            | FlightCode::FbfBackward
+            | FlightCode::FbfForward => "datalog",
             FlightCode::ShardRound | FlightCode::ShardAbort => "shard",
             _ => "exec",
         }
@@ -184,6 +199,9 @@ impl FlightCode {
             FlightCode::JournalReplay => "replayed",
             FlightCode::ShardRound => "round",
             FlightCode::ShardAbort => "shard",
+            FlightCode::FbfCount => "saved",
+            FlightCode::FbfBackward => "checks",
+            FlightCode::FbfForward => "seed_inserts",
             _ => "value",
         }
     }

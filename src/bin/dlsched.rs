@@ -21,6 +21,14 @@
 //!                                     --shards N hash-partitions the stream
 //!                                     across N scheduler+executor instances
 //!                                     (P workers each) running concurrently
+//! dlsched stream --datalog [--maintenance dred|fbf] [--updates U]
+//!                [--update-size K] [--delete-pct D] [--coalesce C]
+//!                [--sched S] [--shards N]
+//!                                     drive the MulVAL-style attack-graph
+//!                                     workload through a real engine with the
+//!                                     chosen maintenance backend and report
+//!                                     sustained updates/sec (+ deletions
+//!                                     absorbed by derivation counts)
 //! dlsched explain [--preset N|<spec>] [--sched S] [--procs P]
 //!                 [-o explain.json] [--trace-out out.trace.json]
 //!                                     run an update with per-task tracing and
@@ -36,7 +44,7 @@
 //!                                     percentiles, burn rate, coalesce rate,
 //!                                     worker occupancy and retries
 //! dlsched query <program.dl|-> <pattern> [--add F]* [--remove F]* [--sched S]
-//!               [--shards N]
+//!               [--shards N] [--maintenance dred|fbf]
 //!                                     materialize a Datalog program, pin a
 //!                                     snapshot, optionally run edits, then
 //!                                     answer a point/scan query (`path(a, ?)`)
@@ -50,6 +58,7 @@
 //! Scheduler names: `levelbased`, `lbl:<k>`, `logicblox`, `signal`,
 //! `hybrid`, `hybrid-bg:<slice>`, `exact`.
 
+use datalog_sched::datalog::MaintenanceStrategy;
 use datalog_sched::runtime::executor::{infallible, StreamPolicy, StreamUpdate};
 use datalog_sched::runtime::{analyze, flow_events, ExecConfig, Executor, ShardedExecutor, TaskFn};
 use datalog_sched::sched::{CostPrices, Observed, SchedulerKind};
@@ -356,7 +365,121 @@ fn cmd_trace(args: &[String]) -> i32 {
 /// pool — the sustained-throughput scenario the batched dispatch core is
 /// built for. Per-update dispatch cost should track the update's active
 /// set, not the DAG size.
+/// The `stream --datalog` mode: instead of the synthetic DAG simulator,
+/// drive the MulVAL-style dynamic attack-graph workload through a real
+/// engine — coalescing queue, incremental maintenance under the chosen
+/// backend (`--maintenance dred|fbf`), optional sharding — and report
+/// sustained updates/sec plus the counting backend's absorption
+/// counters.
+fn run_datalog_stream(args: &[String]) -> i32 {
+    use datalog_sched::datalog::{DeltaQueue, EvalOptions, IncrementalEngine, ShardedEngine};
+    use incr_bench::{AttackConfig, AttackWorkload};
+
+    let updates: usize = flag(args, "--updates").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let update_size: usize =
+        flag(args, "--update-size").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let delete_pct: u64 = flag(args, "--delete-pct").and_then(|v| v.parse().ok()).unwrap_or(70);
+    let coalesce: usize =
+        flag(args, "--coalesce").and_then(|v| v.parse().ok()).unwrap_or(4).max(1);
+    let shards: usize = flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let kind = match parse_sched(flag(args, "--sched").unwrap_or("levelbased")) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let strategy = match MaintenanceStrategy::parse(flag(args, "--maintenance").unwrap_or("dred"))
+    {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown maintenance strategy (expected dred|fbf)");
+            return 2;
+        }
+    };
+
+    let mut w = AttackWorkload::new(&AttackConfig::smoke());
+    let opts = EvalOptions::sequential().with_maintenance(strategy);
+    let reg = incr_obs::registry();
+    let saved0 = reg.counter("datalog.fbf.count_saved_deletes").get();
+
+    let (wall, applied, tasks) = if shards > 1 {
+        let mut e = match ShardedEngine::with_options(w.program(), shards, opts, |d| kind.build(d))
+        {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("attack program failed to materialize: {err}");
+                return 1;
+            }
+        };
+        let t0 = std::time::Instant::now();
+        let mut applied = 0usize;
+        for _ in 0..updates {
+            let edits = w.batch(update_size, delete_pct);
+            if let Err(err) = e.update(&edits) {
+                eprintln!("sharded update failed: {err}");
+                return 1;
+            }
+            applied += 1;
+        }
+        (t0.elapsed().as_secs_f64(), applied, 0usize)
+    } else {
+        let mut e = match IncrementalEngine::with_options(w.program(), opts) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("attack program failed to materialize: {err}");
+                return 1;
+            }
+        };
+        let mut sched = kind.build(e.dag().clone());
+        let mut q = DeltaQueue::new();
+        let t0 = std::time::Instant::now();
+        let mut applied = 0usize;
+        let mut tasks = 0usize;
+        for u in 0..updates {
+            let edits = w.batch(update_size, delete_pct);
+            if let Err(err) = e.enqueue(&mut q, &edits) {
+                eprintln!("enqueue failed: {err}");
+                return 1;
+            }
+            if (u + 1) % coalesce == 0 || u + 1 == updates {
+                match e.apply_queue(sched.as_mut(), &mut q) {
+                    Ok(rep) => tasks += rep.tasks_executed,
+                    Err(err) => {
+                        eprintln!("update failed: {err}");
+                        return 1;
+                    }
+                }
+                applied += 1;
+            }
+        }
+        (t0.elapsed().as_secs_f64(), applied, tasks)
+    };
+
+    println!(
+        "attack-graph stream: {updates} updates x {update_size} edits ({delete_pct}% deletes), \
+         coalesce {coalesce}, {} maintenance, {} shard(s) under {}:",
+        strategy,
+        shards,
+        kind.label()
+    );
+    println!("  batches applied  {applied}");
+    if tasks > 0 {
+        println!("  tasks executed   {tasks}");
+    }
+    println!("  wall time        {wall:.4} s");
+    println!("  updates/sec      {:.0}", updates as f64 / wall.max(f64::MIN_POSITIVE));
+    let saved = reg.counter("datalog.fbf.count_saved_deletes").get() - saved0;
+    if strategy == MaintenanceStrategy::Fbf {
+        println!("  deletions absorbed by counts  {saved}");
+    }
+    0
+}
+
 fn cmd_stream(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--datalog") {
+        return run_datalog_stream(args);
+    }
     let nodes: usize = flag(args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(100_000);
     let updates: usize = flag(args, "--updates").and_then(|v| v.parse().ok()).unwrap_or(100);
     let update_size: usize = flag(args, "--update-size").and_then(|v| v.parse().ok()).unwrap_or(10);
@@ -869,10 +992,12 @@ fn run_snapshot_query(
     pattern: &str,
     edits: &[(bool, String)],
     kind: SchedulerKind,
+    strategy: MaintenanceStrategy,
 ) -> Result<String, String> {
-    use datalog_sched::datalog::IncrementalEngine;
+    use datalog_sched::datalog::{EvalOptions, IncrementalEngine};
 
-    let mut e = IncrementalEngine::new(src).map_err(|e| e.to_string())?;
+    let opts = EvalOptions::sequential().with_maintenance(strategy);
+    let mut e = IncrementalEngine::with_options(src, opts).map_err(|e| e.to_string())?;
     let snap = e.begin_snapshot();
 
     if !edits.is_empty() {
@@ -914,10 +1039,13 @@ fn run_sharded_query(
     edits: &[(bool, String)],
     kind: SchedulerKind,
     shards: usize,
+    strategy: MaintenanceStrategy,
 ) -> Result<String, String> {
-    use datalog_sched::datalog::ShardedEngine;
+    use datalog_sched::datalog::{EvalOptions, ShardedEngine};
 
-    let mut e = ShardedEngine::new(src, shards, |d| kind.build(d)).map_err(|e| e.to_string())?;
+    let opts = EvalOptions::sequential().with_maintenance(strategy);
+    let mut e = ShardedEngine::with_options(src, shards, opts, |d| kind.build(d))
+        .map_err(|e| e.to_string())?;
     let mut exchange = None;
     if !edits.is_empty() {
         let fe = parse_fact_edits(edits)?;
@@ -944,15 +1072,17 @@ fn run_sharded_query(
 
 fn cmd_query(args: &[String]) -> i32 {
     let usage = "usage: dlsched query <program.dl|-> <pattern> \
-                 [--add fact]* [--remove fact]* [--sched S] [--shards N]";
+                 [--add fact]* [--remove fact]* [--sched S] [--shards N] \
+                 [--maintenance dred|fbf]";
     let mut positional: Vec<&str> = Vec::new();
     let mut edits: Vec<(bool, String)> = Vec::new();
     let mut sched = "levelbased";
     let mut shards = 1usize;
+    let mut strategy = MaintenanceStrategy::DRed;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            f @ ("--add" | "--remove" | "--sched" | "--shards") => {
+            f @ ("--add" | "--remove" | "--sched" | "--shards" | "--maintenance") => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("{f} needs a value\n{usage}");
                     return 2;
@@ -964,6 +1094,13 @@ fn cmd_query(args: &[String]) -> i32 {
                         Ok(n) if n >= 1 => shards = n,
                         _ => {
                             eprintln!("bad shard count {v:?}\n{usage}");
+                            return 2;
+                        }
+                    },
+                    "--maintenance" => match MaintenanceStrategy::parse(v) {
+                        Some(s) => strategy = s,
+                        None => {
+                            eprintln!("unknown maintenance strategy {v:?}\n{usage}");
                             return 2;
                         }
                     },
@@ -1006,9 +1143,9 @@ fn cmd_query(args: &[String]) -> i32 {
         }
     };
     let result = if shards > 1 {
-        run_sharded_query(&src, pattern, &edits, kind, shards)
+        run_sharded_query(&src, pattern, &edits, kind, shards, strategy)
     } else {
-        run_snapshot_query(&src, pattern, &edits, kind)
+        run_snapshot_query(&src, pattern, &edits, kind, strategy)
     };
     match result {
         Ok(out) => {
@@ -1037,6 +1174,7 @@ mod query_tests {
             "path(a, ?)",
             &[(false, "edge(a, b)".into()), (true, "edge(a, d)".into())],
             SchedulerKind::Hybrid,
+            MaintenanceStrategy::DRed,
         )
         .expect("query runs");
         // The snapshot (epoch 1) still answers with the pre-edit closure;
@@ -1054,6 +1192,7 @@ mod query_tests {
             &[(false, "edge(a, b)".into()), (true, "edge(a, d)".into())],
             SchedulerKind::Hybrid,
             3,
+            MaintenanceStrategy::Fbf,
         )
         .expect("sharded query runs");
         assert!(out.contains("3 shards"), "{out}");
@@ -1068,6 +1207,7 @@ mod query_tests {
             "path(a, ?)",
             &[(true, "edge(a, ?)".into())],
             SchedulerKind::LevelBased,
+            MaintenanceStrategy::Fbf,
         )
         .unwrap_err();
         assert!(err.contains("must be all symbols"), "{err}");
